@@ -1,0 +1,61 @@
+"""Ablation A10 — membraneless operation limits.
+
+Section II of the paper argues the membrane can be dropped because
+microchannel Reynolds numbers are low enough for co-laminar flow. This
+bench quantifies the whole argument on the validation cell across its flow
+range: Reynolds number, inter-stream mixing-zone width and the reactant
+crossover fraction — the three numbers that bound membraneless viability.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.casestudy.validation_cell import build_validation_spec
+from repro.core.report import format_table
+from repro.flowcell.fvm import FiniteVolumeColaminarCell
+from repro.microfluidics.flow import reynolds_number
+
+FLOWS_UL_MIN = (2.5, 10.0, 60.0, 300.0)
+
+
+def survey_membraneless_limits():
+    rows = []
+    for flow in FLOWS_UL_MIN:
+        spec = build_validation_spec(flow)
+        re = reynolds_number(
+            spec.channel, spec.anolyte.fluid, spec.volumetric_flow_m3_s
+        )
+        cell = FiniteVolumeColaminarCell(spec, nx=60, ny=64)
+        mixing_um = 1e6 * cell.mixing_zone_width(anodic=True)
+        crossover = cell.crossover_fraction(anodic=True)
+        rows.append([flow, re, mixing_um, 100.0 * crossover])
+    return rows
+
+
+def test_a10_membraneless_limits(benchmark):
+    rows = benchmark.pedantic(survey_membraneless_limits, rounds=1, iterations=1)
+    emit(
+        "A10 — membraneless viability across the Fig. 3 flow range",
+        format_table(
+            ["flow [uL/min]", "Reynolds", "mixing zone [um]", "crossover [%]"],
+            rows,
+        )
+        + "\n(stream half-width: 1000 um — the interface blur must stay "
+        "well below it)",
+    )
+
+    reynolds = [r[1] for r in rows]
+    mixing = [r[2] for r in rows]
+    crossover = [r[3] for r in rows]
+    # Deeply laminar at every operating point (the membraneless premise).
+    assert all(re < 100.0 for re in reynolds)
+    # Mixing zone and crossover shrink monotonically with flow.
+    assert all(a >= b for a, b in zip(mixing, mixing[1:]))
+    assert all(a >= b for a, b in zip(crossover, crossover[1:]))
+    # At the design-relevant flow rates the interface stays thin and the
+    # coulombic loss small.
+    assert mixing[-1] < 500.0
+    assert crossover[-1] < 2.0
+    # At the slowest flow, crossover becomes double-digit — the membraneless
+    # concept's real lower flow bound.
+    assert crossover[0] > 5.0

@@ -1,0 +1,47 @@
+"""Ablation A12 — storage-cycle round-trip efficiency.
+
+The flow-cell network is also a battery (the datacenter-integration angle
+of the paper's funding context): this bench charges and discharges the
+array channels at 50 % state of charge and maps the round-trip voltage
+efficiency against the operating current, including the physically
+expected refusal of a fully charged cell to accept fast charge.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.casestudy.power7plus import build_array_cell
+from repro.core.report import format_table
+from repro.flowcell.cycle import charging_curve, mid_soc_cell, voltage_efficiency
+
+
+def survey_round_trip():
+    full = build_array_cell(n_segments=25)
+    half = mid_soc_cell(full, 0.5)
+    rows = []
+    for array_current in (0.5, 2.0, 6.0, 12.0, 20.0):
+        eta = voltage_efficiency(half, array_current / 88.0)
+        rows.append([array_current, 100.0 * eta])
+    full_currents, _ = charging_curve(full, n_points=10)
+    half_currents, _ = charging_curve(half, n_points=10)
+    charge_acceptance_ratio = float(full_currents[-1] / half_currents[-1])
+    return rows, charge_acceptance_ratio
+
+
+def test_a12_round_trip(benchmark):
+    rows, acceptance = benchmark.pedantic(survey_round_trip, rounds=1, iterations=1)
+    emit(
+        "A12 — round-trip voltage efficiency at 50 % SOC (88-channel array)",
+        format_table(["array current [A]", "round trip [%]"], rows)
+        + f"\ncharge acceptance of the ~full Table II composition vs 50 % "
+        f"SOC: {100 * acceptance:.2f} %",
+    )
+    efficiencies = [r[1] for r in rows]
+    # Monotone degradation with current; useful storage range below ~12 A.
+    assert all(a > b for a, b in zip(efficiencies, efficiencies[1:]))
+    assert efficiencies[0] > 90.0
+    by_current = {r[0]: r[1] for r in rows}
+    assert 60.0 < by_current[6.0] < 90.0
+    # A fully charged battery takes almost no charge current.
+    assert acceptance < 0.01

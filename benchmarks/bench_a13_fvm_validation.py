@@ -1,0 +1,91 @@
+"""Ablation A13 — Fig. 3 validation with the finite-volume solver.
+
+Re-runs the Fig. 3 comparison using the quasi-2D FV solver (the library's
+closest COMSOL equivalent) instead of the analytic film/Leveque model. Two
+findings:
+
+- in the thin-boundary-layer regime (60 and 300 uL/min) the FV solver
+  matches the reference within the paper's 10 % band, independently of the
+  analytic model (different discretisation, same physics);
+- at the low flow rates (2.5 and 10 uL/min) the FV limiting current falls
+  20-30 % *below* the boundary-layer value because it resolves bulk
+  reactant depletion along the channel, which the film model (and the
+  thin-layer assumption behind the reference) neglects — the fidelity
+  hierarchy working as intended, and the regime where a full CFD model
+  (the paper's COMSOL) genuinely adds information.
+
+The transverse grid is scaled with flow rate so the concentration boundary
+layer (delta ~ Q^(-1/3)) stays resolved.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.casestudy.validation_cell import build_validation_cell, build_validation_spec
+from repro.core.report import format_table
+from repro.electrochem.polarization import PolarizationCurve
+from repro.flowcell.fvm import FiniteVolumeColaminarCell
+from repro.units import ma_cm2_from_a_m2
+from repro.validation import compare_polarization, reference_curve
+
+#: Thin-layer regime: (flow [uL/min], transverse cells) — finer where the
+#: layer is thinner.
+THIN_LAYER_PLAN = ((60.0, 96), (300.0, 192))
+
+#: Depletion regime probed against the analytic boundary-layer limit.
+DEPLETION_FLOWS = (2.5, 10.0)
+
+
+def run_fv_validation():
+    rows = []
+    for flow, ny in THIN_LAYER_PLAN:
+        cell = FiniteVolumeColaminarCell(
+            build_validation_spec(flow), nx=80, ny=ny
+        )
+        curve = cell.polarization_curve(n_points=25, n_potential_samples=14)
+        area = cell.spec.channel.electrode_area_m2
+        model = PolarizationCurve(
+            ma_cm2_from_a_m2(curve.current_a / area), curve.voltage_v
+        )
+        comparison = compare_polarization(model, reference_curve(flow))
+        rows.append([flow, ny, model.max_current_a,
+                     100.0 * comparison.max_relative_error])
+
+    depletion_rows = []
+    for flow in DEPLETION_FLOWS:
+        fv = FiniteVolumeColaminarCell(build_validation_spec(flow), nx=80, ny=64)
+        curve = fv.polarization_curve(n_points=20, n_potential_samples=14)
+        area = fv.spec.channel.electrode_area_m2
+        fv_jmax = ma_cm2_from_a_m2(curve.max_current_a / area)
+        analytic_jmax = ma_cm2_from_a_m2(
+            build_validation_cell(flow).limiting_current_density_a_m2
+        )
+        depletion_rows.append([flow, fv_jmax, analytic_jmax,
+                               100.0 * (1.0 - fv_jmax / analytic_jmax)])
+    return rows, depletion_rows
+
+
+def test_a13_fvm_validation(benchmark):
+    rows, depletion_rows = benchmark.pedantic(
+        run_fv_validation, rounds=1, iterations=1
+    )
+    emit(
+        "A13 — Fig. 3 validation via the finite-volume solver",
+        format_table(
+            ["flow [uL/min]", "ny", "j_max [mA/cm2]", "max err [%]"], rows
+        )
+        + "\n\ndepletion regime (FV resolves bulk consumption the film "
+        "model neglects):\n"
+        + format_table(
+            ["flow [uL/min]", "FV j_max", "film-model j_max", "deficit [%]"],
+            depletion_rows,
+        ),
+    )
+
+    for flow, _, _, error in rows:
+        assert error < 10.0, flow
+    # The depletion deficit is large at the slowest flow and shrinks as
+    # flow increases — exactly the thin-layer validity trend.
+    deficits = [r[3] for r in depletion_rows]
+    assert deficits[0] > deficits[1] > 5.0
+    assert deficits[0] > 20.0

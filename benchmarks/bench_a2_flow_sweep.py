@@ -1,0 +1,61 @@
+"""Ablation A2 — flow-rate sweep: cooling vs generation vs pumping.
+
+Sweeps the total electrolyte flow and reports the three coupled outcomes:
+peak die temperature (cooling), array power at 1 V (generation) and pumping
+power (cost). Exposes the net-energy optimum and the thermal constraint
+that bounds how far the flow can be reduced — the trade-off behind the
+paper's 48 ml/min stress scenario.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.casestudy.power7plus import (
+    array_pumping_power_w,
+    build_array,
+    build_thermal_model,
+)
+from repro.core.report import format_table
+
+FLOW_POINTS_ML_MIN = (48.0, 150.0, 338.0, 676.0, 1352.0)
+
+
+def sweep_flow():
+    rows = []
+    for flow in FLOW_POINTS_ML_MIN:
+        thermal = build_thermal_model(nx=44, ny=22, total_flow_ml_min=flow)
+        peak_c = thermal.solve_steady().peak_celsius
+        array = build_array(total_flow_ml_min=flow, n_points=40)
+        curve = array.curve
+        if curve.voltage_v[0] > 1.0 > curve.voltage_v[-1]:
+            generated = array.power_at_voltage(1.0)
+        else:
+            generated = 0.0
+        pump = array_pumping_power_w(flow)
+        rows.append([flow, peak_c, generated, pump, generated - pump])
+    return rows
+
+
+def test_a2_flow_sweep(benchmark):
+    rows = benchmark.pedantic(sweep_flow, rounds=1, iterations=1)
+    emit(
+        "A2 — total flow sweep (isothermal cells at 300 K)",
+        format_table(
+            ["flow [ml/min]", "peak T [C]", "P_gen(1V) [W]", "P_pump [W]",
+             "net [W]"],
+            rows,
+        ),
+    )
+    by_flow = {r[0]: r for r in rows}
+    # Cooling degrades monotonically as flow drops.
+    peaks = [r[1] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(peaks, peaks[1:]))
+    # Pumping power grows ~quadratically: doubling flow quadruples it.
+    assert by_flow[1352.0][3] == pytest.approx(4.0 * by_flow[676.0][3], rel=0.01)
+    # The nominal design point is net-positive; doubled flow is not.
+    assert by_flow[676.0][4] > 0.0
+    assert by_flow[1352.0][4] < 0.0
+    # 48 ml/min keeps the chip under the 85 C limit (as the paper's
+    # stress case needs) but with far less margin than nominal.
+    assert by_flow[48.0][1] < 95.0
+    assert by_flow[48.0][1] > by_flow[676.0][1] + 20.0

@@ -1,0 +1,72 @@
+"""Ablation A3 — VRM technology comparison.
+
+Compares the regulator options the paper cites (Figs. 5-6 discussion):
+ideal conversion, the switched-capacitor converter of Andersen 2013
+(ref [22]) and the stacked-chip buck of Onizuka 2007 (ref [23]), on
+delivered cache power, converter area and whether the 5 W cache demand
+survives the conversion loss.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import format_table
+from repro.pdn.vrm import BuckVRM, IdealVRM, SwitchedCapacitorVRM
+
+#: Array-side tap chosen on the efficient branch of the Fig. 7 curve.
+ARRAY_TAP_V = 1.2
+CACHE_DEMAND_W = 5.0
+
+
+def compare_vrms(nominal_array):
+    current = nominal_array.current_at_voltage(ARRAY_TAP_V)
+    array_power = current * ARRAY_TAP_V
+    vrms = {
+        "ideal": IdealVRM(nominal_output_v=1.0),
+        "switched-capacitor (ref 22)": SwitchedCapacitorVRM(
+            input_v=ARRAY_TAP_V, nominal_output_v=1.0
+        ),
+        "buck (ref 23)": BuckVRM(input_v=ARRAY_TAP_V, nominal_output_v=1.0),
+    }
+    rows = []
+    for name, vrm in vrms.items():
+        efficiency = float(getattr(vrm, "efficiency", 1.0))
+        delivered = array_power * efficiency
+        rows.append([
+            name,
+            efficiency,
+            delivered,
+            vrm.required_area_m2(delivered) * 1e6,
+            "yes" if delivered >= CACHE_DEMAND_W else "no",
+        ])
+    return array_power, rows
+
+
+def test_a3_vrm_compare(benchmark, nominal_array):
+    array_power, rows = benchmark.pedantic(
+        compare_vrms, args=(nominal_array,), rounds=1, iterations=1
+    )
+    emit(
+        f"A3 — VRM comparison (array tapped at {ARRAY_TAP_V} V, "
+        f"{array_power:.2f} W input)",
+        format_table(
+            ["VRM", "efficiency", "delivered [W]", "area [mm2]", "meets 5 W"],
+            rows,
+        ),
+    )
+    table = {r[0]: r for r in rows}
+    # Ideal delivers the most; SC beats buck on efficiency and area.
+    assert table["ideal"][2] >= table["switched-capacitor (ref 22)"][2]
+    assert (
+        table["switched-capacitor (ref 22)"][1] > table["buck (ref 23)"][1]
+    )
+    assert (
+        table["switched-capacitor (ref 22)"][3] < table["buck (ref 23)"][3]
+    )
+    # Honest ablation finding: once a realistic step-down converter (which
+    # must tap the array *above* 1 V, where the steep kinetic knee leaves
+    # little power) is accounted for, the delivered power falls short of the
+    # 5 W cache demand — the paper's 6 W figure is converter-less, and its
+    # outlook's call for higher electrochemical power density stands.
+    assert table["switched-capacitor (ref 22)"][2] < CACHE_DEMAND_W
+    assert table["buck (ref 23)"][2] < CACHE_DEMAND_W

@@ -1,0 +1,72 @@
+"""Ablation A4 — proposed system vs conventional baseline.
+
+Quantifies the paper's motivation: the microfluidic system against an
+air-cooled, c4-bump-powered MPSoC on peak temperature, sustainable
+utilization (bright vs dark silicon) and I/O connectivity.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.baselines import ConventionalBaseline
+from repro.core.report import format_table
+from repro.core.system import IntegratedPowerCoolingSystem
+
+
+def compare_against_baseline():
+    system = IntegratedPowerCoolingSystem()
+    evaluation = system.evaluate(1.0)
+    baseline = system.baseline
+    return system, evaluation, baseline
+
+
+def test_a4_baseline_compare(benchmark):
+    system, evaluation, baseline = benchmark.pedantic(
+        compare_against_baseline, rounds=1, iterations=1
+    )
+    bumps_freed = system.io_bumps_freed()
+    emit(
+        "A4 — integrated microfluidic system vs air + c4 baseline",
+        format_table(
+            ["metric", "proposed", "baseline"],
+            [
+                ["peak T at full load [C]",
+                 evaluation.peak_temperature_c,
+                 baseline.peak_temperature_c(1.0)],
+                ["max utilization (85 C limit)",
+                 evaluation.bright_utilization,
+                 evaluation.baseline_utilization],
+                ["dark-silicon fraction",
+                 1.0 - evaluation.bright_utilization,
+                 1.0 - evaluation.baseline_utilization],
+                ["cache supply droop [V]",
+                 1.0 - evaluation.pdn_min_voltage_v,
+                 baseline.supply_droop_v(5.0)],
+                ["power bumps needed for caches", 0, bumps_freed],
+            ],
+        )
+        + f"\nI/O bumps freed by fluidic cache supply: {bumps_freed}",
+    )
+
+    assert evaluation.bright_utilization == 1.0
+    assert evaluation.baseline_utilization < 1.0
+    assert evaluation.peak_temperature_c < baseline.peak_temperature_c(1.0)
+    assert bumps_freed > 0
+
+
+def test_a4_thermal_headroom(benchmark):
+    """The proposed cooling holds even a hypothetical 2x-power chip."""
+    from repro.casestudy.power7plus import build_thermal_model, full_load_power_map
+    from repro.geometry.power7 import build_power7_floorplan
+
+    def overdriven_peak():
+        floorplan = build_power7_floorplan()
+        model = build_thermal_model(nx=44, ny=22, floorplan=floorplan)
+        model.set_power_map(
+            "active_si", 2.0 * full_load_power_map(44, 22, floorplan)
+        )
+        return model.solve_steady().peak_celsius
+
+    peak = benchmark.pedantic(overdriven_peak, rounds=1, iterations=1)
+    emit("A4b — 2x power stress", f"peak at 2x full load: {peak:.1f} C")
+    assert peak < 85.0  # bright silicon even at double power

@@ -1,0 +1,70 @@
+"""Ablation A6 — the Section IV roadmap, quantified.
+
+The paper's conclusion: full electrochemical supply of the chip needs both
+massively improved cell power density and reduced processor power density.
+This bench computes the actual gap for the case study and the feasibility
+frontier over improvement-factor pairs.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import format_table
+from repro.core.roadmap import (
+    feasibility_matrix,
+    minimum_cell_improvement,
+    power7_supply_gap,
+)
+
+
+def build_roadmap():
+    gap = power7_supply_gap()
+    matrix, cells, chips = feasibility_matrix(gap)
+    return gap, matrix, cells, chips
+
+
+def test_a6_roadmap(benchmark):
+    gap, matrix, cells, chips = benchmark.pedantic(
+        build_roadmap, rounds=1, iterations=1
+    )
+    header = ["cell improvement \\ chip reduction"] + [f"{c:g}x" for c in chips]
+    rows = []
+    for i, cell in enumerate(cells):
+        rows.append(
+            [f"{cell:g}x"] + ["YES" if matrix[i, j] else "no"
+                              for j in range(len(chips))]
+        )
+    emit(
+        "A6 — full-chip fluidic supply feasibility (Section IV roadmap)",
+        f"chip demand {gap.chip_power_w:.0f} W vs array capability "
+        f"{gap.array_power_w:.1f} W at 1 V -> gap {gap.gap_factor:.1f}x\n\n"
+        + format_table(header, rows)
+        + "\nminimum cell-density improvement at 3x architectural reduction: "
+        f"{minimum_cell_improvement(gap, 3.0):.1f}x",
+    )
+
+    assert 20.0 < gap.gap_factor < 32.0       # "not capable" today
+    assert not matrix[0, 0]                   # status quo infeasible
+    assert matrix[-1, -1]                     # the two-pronged path closes it
+
+
+def test_a6_caches_already_feasible(benchmark, nominal_array):
+    """The feasible-today subset the paper demonstrates: the cache domain."""
+
+    def cache_gap():
+        from repro.core.roadmap import SupplyGap
+
+        return SupplyGap(
+            chip_power_w=5.0,
+            array_power_w=nominal_array.power_at_voltage(1.0),
+        )
+
+    gap = benchmark.pedantic(cache_gap, rounds=1, iterations=1)
+    emit(
+        "A6b — cache-domain supply",
+        f"demand 5 W vs capability {gap.array_power_w:.2f} W "
+        f"(gap {gap.gap_factor:.2f}x): feasible without any improvement.",
+    )
+    assert gap.gap_factor < 1.0
+    assert gap.is_closed_by(1.0, 1.0)
+    assert gap.array_power_w > gap.chip_power_w

@@ -1,0 +1,60 @@
+"""Ablation A8 — workload scenarios under fluidic cooling.
+
+Evaluates the thermal state across the operating points the paper's
+energy-proportionality motivation implies: full load, memory-bound
+(the ref [25] microserver case), half-dark (the conventional compromise)
+and idle. Under the integrated cooling none of them comes near the 85 C
+limit — the dark-silicon constraint is gone at every operating point, not
+just the corner the paper plots.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.casestudy.power7plus import build_thermal_stack
+from repro.casestudy.workloads import standard_workloads
+from repro.core.report import format_table
+from repro.geometry.power7 import build_power7_floorplan
+from repro.thermal.model import ThermalModel
+from repro.thermal.resistance import junction_to_inlet_resistance_k_w
+
+
+def sweep_workloads():
+    floorplan = build_power7_floorplan()
+    rows = []
+    for workload in standard_workloads():
+        model = ThermalModel(
+            build_thermal_stack(), floorplan.width_m, floorplan.height_m, 44, 22
+        )
+        model.set_power_map("active_si", workload.power_map(44, 22, floorplan))
+        solution = model.solve_steady()
+        rows.append([
+            workload.name,
+            model.total_power_w(),
+            solution.peak_celsius,
+            junction_to_inlet_resistance_k_w(solution, model),
+        ])
+    return rows
+
+
+def test_a8_workload_scenarios(benchmark):
+    rows = benchmark.pedantic(sweep_workloads, rounds=1, iterations=1)
+    emit(
+        "A8 — workload scenarios at the nominal coolant point",
+        format_table(
+            ["workload", "power [W]", "peak T [C]", "R_j-inlet [K/W]"], rows
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    # Peak ordering follows power.
+    assert by_name["full load"][2] > by_name["memory bound"][2]
+    assert by_name["memory bound"][2] > by_name["idle"][2]
+    # Every scenario is bright silicon under fluidic cooling.
+    assert all(r[2] < 85.0 for r in rows)
+    # The lumped peak-rise/total-power figure is similar for the spatially
+    # uniform scenarios but nearly doubles for half-dark, where the active
+    # cores still run full density while the denominator halves — power
+    # *concentration*, not magnitude, sets hot spots.
+    uniform = [r[3] for r in rows if r[0] != "half dark"]
+    assert max(uniform) / min(uniform) < 1.3
+    assert by_name["half dark"][3] > 1.5 * min(uniform)

@@ -1,0 +1,44 @@
+"""Ablation A9 — calibration sensitivity tornado.
+
+Perturbs each calibrated constant of DESIGN.md by +-20 % and reports the
+elasticity of the paper-anchor outputs. Readers of the reproduction can see
+at a glance which substitutions are load-bearing (electrode surface area,
+permeability) and which the conclusions are robust to.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import format_table
+from repro.core.sensitivity import case_study_tornado
+
+
+def test_a9_sensitivity_tornado(benchmark):
+    results = benchmark.pedantic(case_study_tornado, rounds=1, iterations=1)
+    rows = [
+        [r.parameter, r.output, r.elasticity, r.low_value, r.high_value]
+        for r in sorted(results, key=lambda r: -abs(r.elasticity))
+    ]
+    emit(
+        "A9 — calibration sensitivity (elasticity = d ln out / d ln param)",
+        format_table(
+            ["parameter (+-20 %)", "output", "elasticity", "low", "high"], rows
+        ),
+    )
+
+    by_param = {r.parameter: r for r in results}
+    # Pumping power is exactly inverse in permeability (Darcy):
+    assert by_param["electrode permeability"].elasticity == pytest.approx(
+        -1.0, abs=0.01
+    )
+    # Array current responds sub-linearly to surface area (Tafel log law
+    # spreads a 20 % kinetics change over a fraction of a decade).
+    i_sens = by_param["electrode specific surface a_s"].elasticity
+    assert 0.2 < i_sens < 1.0
+    # Peak temperature rise responds with elasticity in (-1, 0): the fluid
+    # advection floor limits how much the film coefficient matters.
+    t_sens = by_param["convective enhancement"].elasticity
+    assert -1.0 < t_sens < -0.1
+    # PDN drop follows the feed impedance sub-linearly (sheet path shares).
+    p_sens = by_param["VRM output impedance"].elasticity
+    assert 0.3 < p_sens < 1.0

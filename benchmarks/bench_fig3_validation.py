@@ -1,0 +1,62 @@
+"""Fig. 3 — validation-cell polarization curves vs reference data.
+
+Regenerates the four polarization curves of the Table I cell (2.5, 10, 60,
+300 uL/min), compares each against the Kjeang-2007 reference dataset and
+reports the per-flow-rate error band. Acceptance: max relative voltage
+error < 10 % (the paper's claim).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.casestudy.validation_cell import build_validation_cell
+from repro.core.report import format_table
+from repro.electrochem.polarization import PolarizationCurve
+from repro.units import ma_cm2_from_a_m2
+from repro.validation import compare_polarization, reference_curve
+
+FLOW_RATES = (2.5, 10.0, 60.0, 300.0)
+
+
+def run_validation():
+    """Compute model curves and reference comparisons for all flow rates."""
+    results = {}
+    for flow in FLOW_RATES:
+        cell = build_validation_cell(flow)
+        curve = cell.polarization_curve_density(60)
+        model_ma = PolarizationCurve(
+            ma_cm2_from_a_m2(curve.current_a), curve.voltage_v
+        )
+        results[flow] = (
+            model_ma,
+            compare_polarization(model_ma, reference_curve(flow)),
+        )
+    return results
+
+
+def test_fig3_validation(benchmark):
+    results = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+
+    rows = []
+    for flow, (model, comparison) in results.items():
+        rows.append([
+            f"{flow:g} uL/min",
+            float(model.open_circuit_voltage_v),
+            float(model.max_current_a),
+            100.0 * comparison.max_relative_error,
+            100.0 * comparison.rms_relative_error,
+        ])
+    emit(
+        "Fig. 3 — polarization validation (model vs Kjeang 2007 reference)",
+        format_table(
+            ["flow", "OCV [V]", "j_max [mA/cm2]", "max err [%]", "rms err [%]"],
+            rows,
+        ),
+    )
+
+    for flow, (_, comparison) in results.items():
+        assert comparison.max_relative_error < 0.10, flow
+    # Cube-root flow-rate scaling of the limiting current (curve spread).
+    j_low = results[2.5][0].max_current_a
+    j_high = results[300.0][0].max_current_a
+    assert j_high / j_low == pytest.approx(120.0 ** (1.0 / 3.0), rel=0.02)

@@ -1,0 +1,38 @@
+"""Fig. 7 — V-I characteristic of the 88-channel array.
+
+Regenerates the array polarization curve of Table II and prints the V(I)
+series the paper plots. Acceptance: OCV in [1.55, 1.70] V, 6 +- 0.5 A at
+1.0 V, usable range beyond 42 A.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.casestudy.power7plus import build_array
+from repro.core.report import format_table
+
+
+def test_fig7_array_vi(benchmark):
+    array = benchmark.pedantic(build_array, rounds=1, iterations=1)
+    curve = array.curve
+
+    # Print the series at round current stations like the figure's axis.
+    stations = [0.0, 2.0, 4.0, 6.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+    rows = []
+    for current in stations:
+        if current <= curve.max_current_a:
+            rows.append([current, curve.voltage_at_current(current)])
+    emit(
+        "Fig. 7 — 88-channel array V-I characteristic",
+        format_table(["I [A]", "V [V]", ], rows)
+        + f"\nOCV = {array.open_circuit_voltage_v:.3f} V"
+        + f"\nI(1.0 V) = {array.current_at_voltage(1.0):.2f} A (paper: 6 A)"
+        + f"\nmax sampled I = {array.max_current_a:.1f} A"
+        + f"\nmax power = {array.max_power_w:.1f} W",
+    )
+
+    assert 1.55 < array.open_circuit_voltage_v < 1.70
+    assert array.current_at_voltage(1.0) == pytest.approx(6.0, abs=0.5)
+    assert array.max_current_a > 42.0
+    assert np.all(np.diff(curve.voltage_v) <= 1e-12)

@@ -1,0 +1,51 @@
+"""Fig. 9 — full-load thermal map under microfluidic cooling.
+
+Solves the 3D compact thermal model of the POWER7+ stack at the Table II
+coolant operating point (676 ml/min, 27 C inlet) and full chip load.
+Acceptance: peak 41 +- 3 C, exact coolant energy balance.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.casestudy.power7plus import build_thermal_model
+from repro.core.report import ascii_heatmap
+
+
+def solve_fig9():
+    model = build_thermal_model()
+    return model, model.solve_steady()
+
+
+def test_fig9_thermal_map(benchmark):
+    model, solution = benchmark.pedantic(solve_fig9, rounds=1, iterations=1)
+
+    active = solution.field_celsius("active_si")
+    fluid = solution.field_celsius("channels")
+    emit(
+        "Fig. 9 — thermal map of the POWER7+ at full load",
+        f"peak junction temperature: {solution.peak_celsius:.1f} C (paper: 41 C)\n"
+        f"coolant outlet (mean): {fluid[-1, :].mean():.1f} C "
+        f"(inlet 26.9 C, energy-balance rise "
+        f"{model.total_power_w() / 47.2:.1f} K)\n"
+        f"chip power: {model.total_power_w():.1f} W\n"
+        f"energy balance error: {solution.energy_balance_error_w():.2e} W\n\n"
+        "active-layer temperature map (darker = cooler):\n"
+        + ascii_heatmap(active),
+    )
+
+    assert solution.peak_celsius == pytest.approx(41.0, abs=3.0)
+    assert abs(solution.energy_balance_error_w()) < 1e-6
+    assert active.min() > 26.0
+
+
+def test_fig9_transient_settles(benchmark):
+    """Extension: the transient solver relaxes to the steady Fig. 9 state."""
+    model = build_thermal_model(nx=44, ny=22)
+    steady = model.solve_steady()
+
+    def run_transient():
+        return model.solve_transient(duration_s=30.0, dt_s=0.5)
+
+    transient = benchmark.pedantic(run_transient, rounds=1, iterations=1)
+    assert transient.peak_k == pytest.approx(steady.peak_k, abs=0.2)

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md
+Section 5), asserts its acceptance criteria, and prints the reproduced
+rows/series so that ``pytest benchmarks/ --benchmark-only -s`` emits the
+paper-comparable numbers alongside the timing table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block (visible with -s or on failure)."""
+    bar = "=" * len(title)
+    sys.stdout.write(f"\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def nominal_array():
+    """Fig. 7 array model at the nominal Table II operating point."""
+    from repro.casestudy.power7plus import build_array
+
+    return build_array()
+
+
+@pytest.fixture(scope="session")
+def nominal_thermal():
+    """Full-load thermal solution (Fig. 9)."""
+    from repro.casestudy.power7plus import build_thermal_model
+
+    return build_thermal_model().solve_steady()

@@ -1,0 +1,65 @@
+"""Concentration fields inside a co-laminar cell (the COMSOL view).
+
+Uses the quasi-2D finite-volume solver to render what the paper's COMSOL
+model sees: the fuel depletion layer growing along the anode, the product
+accumulating at the wall, and the diffusive mixing zone blurring the
+co-laminar interface — the physics that set both the limiting current
+(Fig. 3) and the membraneless operating envelope.
+
+Run:  python examples/concentration_fields.py
+"""
+
+import numpy as np
+
+from repro.casestudy.validation_cell import build_validation_spec
+from repro.core.report import ascii_heatmap
+from repro.electrochem.nernst import equilibrium_potential
+from repro.flowcell.fvm import FiniteVolumeColaminarCell
+
+FLOW_UL_MIN = 60.0
+
+
+def main() -> None:
+    spec = build_validation_spec(FLOW_UL_MIN)
+    cell = FiniteVolumeColaminarCell(spec, nx=72, ny=48)
+
+    # Drive the anode hard enough to show a strong depletion layer.
+    anolyte = spec.anolyte
+    e_eq = equilibrium_potential(
+        anolyte.couple, anolyte.conc_ox, anolyte.conc_red, 300.0
+    )
+    result = cell.march_electrode(e_eq + 0.25, anodic=True)
+
+    print(f"Fuel (V2+) concentration field @ {FLOW_UL_MIN:g} uL/min")
+    print("x: downstream ->   y: anode wall (bottom) to channel centre/cathode")
+    print("(darker = depleted; the fuel stream occupies the lower half)\n")
+    # Show the field transposed: rows = transverse position, cols = axial.
+    field = result.conc_red.T  # (ny, nx)
+    print(ascii_heatmap(field, flip_vertical=False))
+
+    print()
+    depleted = result.conc_red[-1, 0] / anolyte.conc_red
+    print(f"outlet wall concentration: {100 * depleted:.0f} % of inlet")
+    print(f"electrode current: {1e3 * result.electrode_current_a:.2f} mA")
+
+    print()
+    print("Open-circuit mixing of the two streams (crossover):")
+    for flow in (2.5, 60.0, 300.0):
+        probe = FiniteVolumeColaminarCell(
+            build_validation_spec(flow), nx=60, ny=64
+        )
+        mixing_um = 1e6 * probe.mixing_zone_width(anodic=True)
+        crossover = 100.0 * probe.crossover_fraction(anodic=True)
+        bar = "#" * int(mixing_um / 25)
+        print(f"  {flow:6.1f} uL/min: mixing zone {mixing_um:6.0f} um, "
+              f"crossover {crossover:5.1f} %  {bar}")
+    print()
+    print(
+        "The interface blur shrinks as Q^(1/2) with residence time — fast\n"
+        "flow keeps the streams separate, which is the entire membraneless\n"
+        "premise (paper Section II)."
+    )
+
+
+if __name__ == "__main__":
+    main()

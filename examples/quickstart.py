@@ -1,0 +1,51 @@
+"""Quickstart: simulate a single membraneless vanadium flow cell.
+
+Builds the paper's Table I validation cell (the Kjeang 2007 geometry),
+computes its polarization and power curves at one flow rate, and prints the
+numbers a cell designer would look at first.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.casestudy.validation_cell import build_validation_cell
+from repro.core.report import format_table
+from repro.units import ma_cm2_from_a_m2
+
+FLOW_UL_MIN = 60.0
+
+
+def main() -> None:
+    cell = build_validation_cell(FLOW_UL_MIN)
+
+    print(f"Membraneless all-vanadium flow cell @ {FLOW_UL_MIN:g} uL/min")
+    print(f"  channel: 33 mm x 2 mm x 150 um (Table I)")
+    print(f"  open-circuit voltage:    {cell.open_circuit_voltage_v:.3f} V")
+    print(
+        "  limiting current density:"
+        f" {ma_cm2_from_a_m2(cell.limiting_current_density_a_m2):.1f} mA/cm2"
+    )
+    print(f"  ohmic resistance:        {cell.resistance_ohm:.2f} Ohm")
+
+    curve = cell.polarization_curve_density(40)
+    rows = []
+    for fraction in (0.0, 0.2, 0.4, 0.6, 0.8, 0.95):
+        j = fraction * curve.max_current_a
+        v = curve.voltage_at_current(j)
+        # 1 mA/cm2 * 1 V = 1 mW/cm2, so the product is already in mW/cm2.
+        rows.append([ma_cm2_from_a_m2(j), v, ma_cm2_from_a_m2(j) * v])
+    print()
+    print(format_table(
+        ["j [mA/cm2]", "V [V]", "P [mW/cm2]"], rows, precision=3
+    ))
+
+    # Where does the voltage go? Loss breakdown at 60 % of the limit.
+    current = 0.6 * cell.limiting_current_a
+    losses = cell.loss_breakdown(current)
+    print()
+    print(f"Loss breakdown at {1e3 * current:.1f} mA:")
+    for name, value in losses.items():
+        print(f"  {name:12s} {1e3 * value:7.1f} mV")
+
+
+if __name__ == "__main__":
+    main()

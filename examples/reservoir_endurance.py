@@ -1,0 +1,69 @@
+"""Reservoir sizing and endurance: the energy-storage side of the system.
+
+Redox flow cells decouple *power* (the on-chip cell array) from *energy*
+(the electrolyte tanks). This script answers the system-integration
+questions the paper's Fig. 1 raises but does not evaluate: how long do
+given tanks run the cache load, how big must they be for a target runtime,
+and how does the open-circuit voltage sag as the state of charge drains.
+
+Run:  python examples/reservoir_endurance.py
+"""
+
+from repro.casestudy.power7plus import build_array_spec
+from repro.core.report import format_table
+from repro.electrochem.nernst import open_circuit_voltage
+from repro.flowcell.recirculation import (
+    ElectrolyteReservoir,
+    RecirculationLoop,
+    tank_volume_for_runtime,
+)
+
+CACHE_CURRENT_A = 5.0
+
+
+def main() -> None:
+    spec = build_array_spec()
+
+    print("Tank sizing for the 5 A cache supply (80 % usable SOC window):")
+    rows = []
+    for hours in (1.0, 8.0, 24.0, 168.0):
+        volume_l = 1e3 * tank_volume_for_runtime(
+            CACHE_CURRENT_A, hours * 3600.0, spec.anolyte, as_fuel=True
+        )
+        rows.append([hours, volume_l])
+    print(format_table(["runtime [h]", "tank volume [L] (each)"], rows))
+
+    print()
+    print("Discharge of 1 L tanks at the cache load:")
+    loop = RecirculationLoop(
+        ElectrolyteReservoir(spec.anolyte, 1e-3, is_fuel=True),
+        ElectrolyteReservoir(spec.catholyte, 1e-3, is_fuel=False),
+    )
+    rows = []
+    hour = 0.0
+    while loop.state_of_charge > 0.2:
+        ano = loop.anolyte_tank.current_composition()
+        cat = loop.catholyte_tank.current_composition()
+        ocv = open_circuit_voltage(
+            cat.couple, cat.conc_ox, cat.conc_red,
+            ano.couple, ano.conc_ox, ano.conc_red,
+        )
+        rows.append([hour, loop.state_of_charge, ocv])
+        remaining = loop.runtime_to_soc_s(CACHE_CURRENT_A, min_soc=0.2)
+        step_h = min(1.0, remaining / 3600.0)
+        if step_h <= 0.0:
+            break
+        loop.step(CACHE_CURRENT_A, step_h * 3600.0)
+        hour += step_h
+    rows.append([hour, loop.state_of_charge, ocv])
+    print(format_table(["t [h]", "SOC", "OCV [V]"], rows, precision=3))
+    print()
+    print(
+        "The OCV sags only ~0.1 V between 100 % and 20 % SOC — the Nernst\n"
+        "logarithm is gentle — so the VRMs see a nearly constant input and\n"
+        "the array's 6 A capability holds across the discharge."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""3D-stacked MPSoCs with interlayer power generation and cooling.
+
+The paper's Fig. 1 allows "multiple stacked dies" with the fluidic network
+between tiers. This script stacks one to four full-power POWER7+ dies with
+a Table II channel layer over each and reports what no air-cooled package
+could attempt: the whole stack stays bright while its generation capability
+scales with the tier count.
+
+Run:  python examples/stacked_3d_mpsoc.py
+"""
+
+from repro.casestudy.stacked import (
+    build_stacked_thermal_model,
+    stack_generation_capability_w,
+)
+from repro.core.baselines import ConventionalBaseline
+from repro.core.report import format_table
+
+
+def main() -> None:
+    baseline = ConventionalBaseline()
+    rows = []
+    per_tier_solutions = {}
+    for n_tiers in (1, 2, 3, 4):
+        model = build_stacked_thermal_model(n_tiers, nx=44, ny=22)
+        solution = model.solve_steady()
+        per_tier_solutions[n_tiers] = solution
+        rows.append([
+            n_tiers,
+            model.total_power_w(),
+            solution.peak_celsius,
+            stack_generation_capability_w(n_tiers),
+            "yes" if solution.peak_celsius < 85.0 else "no",
+        ])
+
+    print(format_table(
+        ["tiers", "total power [W]", "peak T [C]", "generation at 1 V [W]",
+         "bright?"],
+        rows, precision=3,
+    ))
+    print()
+    print(f"Air-cooled reference, ONE die at full load: "
+          f"{baseline.peak_temperature_c(1.0):.1f} C (> 85 C limit).")
+
+    print()
+    print("Per-tier peak temperatures of the 4-tier stack:")
+    solution = per_tier_solutions[4]
+    for tier in range(4):
+        peak = float(solution.field_celsius(f"active_si_{tier}").max())
+        print(f"  tier {tier}: {peak:5.1f} C")
+    print()
+    print(
+        "Each tier's channel layer removes its die's heat locally, so peaks\n"
+        "grow only mildly with depth — the paper's packaging-density claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Case-study configurations: Table I (validation) and Table II (POWER7+).
+
+Everything the benches and examples need to reconstruct the paper's two
+experimental setups lives here, in one place, with the calibration
+decisions documented next to the numbers they affect.
+"""
+
+from repro.casestudy.power7plus import (
+    ARRAY_CHANNEL_COUNT,
+    TOTAL_FLOW_ML_MIN,
+    Power7CaseStudy,
+    build_array_cell,
+    build_array_layout,
+    build_array_spec,
+    build_thermal_model,
+    build_thermal_stack,
+    full_load_power_map,
+)
+from repro.casestudy.stacked import (
+    build_stacked_thermal_model,
+    stack_generation_capability_w,
+)
+from repro.casestudy.tables import TABLE1, TABLE2
+from repro.casestudy.validation_cell import (
+    KJEANG_FLOW_RATES_UL_MIN,
+    build_validation_cell,
+    build_validation_spec,
+)
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "KJEANG_FLOW_RATES_UL_MIN",
+    "build_validation_spec",
+    "build_validation_cell",
+    "Power7CaseStudy",
+    "ARRAY_CHANNEL_COUNT",
+    "TOTAL_FLOW_ML_MIN",
+    "build_array_spec",
+    "build_array_cell",
+    "build_array_layout",
+    "build_thermal_stack",
+    "build_thermal_model",
+    "full_load_power_map",
+    "build_stacked_thermal_model",
+    "stack_generation_capability_w",
+]

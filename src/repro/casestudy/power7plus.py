@@ -1,0 +1,363 @@
+"""Builders for the POWER7+ case study (Figs. 7-9, Section III).
+
+Calibrated values and where they come from:
+
+- ``TRANSFER_COEFFICIENT = 0.25`` — apparent transfer coefficients of the
+  vanadium reactions on carbon are well below 0.5 (literature Tafel slopes
+  of 120-240 mV/dec); 0.25 also reproduces the Fig. 7 curve shape (steep
+  kinetic knee to 6 A at 1 V, usable range extending toward 50 A).
+- ``SPECIFIC_SURFACE_AREA = 1.62e4 m^2/m^3`` — the flow-through electrode
+  surface density calibrated so the array delivers the paper's 6 A at
+  1.0 V; the value corresponds to a micro-structured (pin-fin-like)
+  electrode rather than dense carbon felt.
+- ``PERMEABILITY = 4.56e-10 m^2`` — calibrated so the Darcy pressure drop
+  at 676 ml/min yields the paper's 4.4 W pumping power at a 50 % efficient
+  pump (the paper's own 1.5 bar/cm gradient is inconsistent with that
+  figure; see EXPERIMENTS.md).
+- ``HEAT_TRANSFER_ENHANCEMENT = 1.4`` — porous-electrode convective
+  enhancement over the open-channel Nusselt value (conservative end of the
+  porous-media range), landing the full-load peak at the paper's 41 C.
+- Cache demand = 5 W total (the paper's explicit 5 A at 1 V), spread over
+  the cache blocks; core density solved so the chip-average full-load
+  density equals 26.7 W/cm2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.casestudy.tables import PAPER_ANCHORS, TABLE2
+from repro.electrochem.polarization import PolarizationCurve
+from repro.errors import ConfigurationError
+from repro.flowcell.array import FlowCellArray
+from repro.flowcell.cell import ColaminarCellSpec
+from repro.flowcell.porous import FlowThroughPorousCell, PorousElectrodeSpec
+from repro.geometry.array import ChannelArray
+from repro.geometry.channel import RectangularChannel
+from repro.geometry.floorplan import BlockKind, Floorplan
+from repro.geometry.power7 import build_power7_floorplan
+from repro.materials.electrolyte import Electrolyte, default_conductivity_model
+from repro.materials.fluid import vanadium_electrolyte_fluid
+from repro.materials.solids import BEOL, SILICON
+from repro.materials.species import (
+    vanadium_negative_couple,
+    vanadium_positive_couple,
+)
+from repro.microfluidics.hydraulics import darcy_pressure_drop, pumping_power
+from repro.thermal.model import ThermalModel
+from repro.thermal.stack import LayerStack, MicrochannelLayer, SolidLayer
+from repro.units import (
+    m3s_from_ml_per_min,
+    meters_from_mm,
+    meters_from_um,
+    pa_s_from_mpa_s,
+    w_m2_from_w_cm2,
+)
+
+ARRAY_CHANNEL_COUNT = TABLE2["channel_count"]
+TOTAL_FLOW_ML_MIN = TABLE2["total_flow_ml_min"]
+
+#: Calibrated parameters (see module docstring).
+TRANSFER_COEFFICIENT = 0.25
+SPECIFIC_SURFACE_AREA_M2_M3 = 1.62e4
+PERMEABILITY_M2 = 4.56e-10
+HEAT_TRANSFER_ENHANCEMENT = 1.4
+
+#: Temperature-dependence calibration for the Section III-B coupling study:
+#: effective activation energies chosen so the *maximum* thermally induced
+#: power gain across the paper's two stress scenarios (48 ml/min low flow,
+#: 37 C inlet) lands at the reported "up to 23 %", with the nominal-flow
+#: sensitivity staying below the reported 4 % ceiling.
+KINETIC_ACTIVATION_ENERGY = 13.0e3
+DIFFUSION_ACTIVATION_ENERGY = 15.5e3
+
+#: Stack layer thicknesses.
+BEOL_THICKNESS_M = 12e-6
+ACTIVE_SI_THICKNESS_M = 300e-6
+CAP_THICKNESS_M = 200e-6
+
+
+def build_array_layout() -> ChannelArray:
+    """Table II channel-array geometry (88 channels at 300 um pitch)."""
+    channel = RectangularChannel(
+        width_m=meters_from_um(TABLE2["channel_width_um"]),
+        height_m=meters_from_um(TABLE2["channel_height_um"]),
+        length_m=meters_from_mm(TABLE2["channel_length_mm"]),
+    )
+    return ChannelArray(
+        channel=channel,
+        count=ARRAY_CHANNEL_COUNT,
+        pitch_m=meters_from_um(TABLE2["channel_pitch_um"]),
+        flow_axis="y",
+    )
+
+
+def build_array_fluid(temperature_dependent: bool = False):
+    """Electrolyte bulk fluid with the Table II thermal properties."""
+    return vanadium_electrolyte_fluid(
+        density_kg_m3=TABLE2["density_kg_m3"],
+        viscosity_pa_s=pa_s_from_mpa_s(TABLE2["dynamic_viscosity_mpa_s"]),
+        thermal_conductivity_w_mk=TABLE2["thermal_conductivity_w_mk"],
+        volumetric_heat_capacity_j_m3k=TABLE2["volumetric_heat_capacity_j_m3k"],
+        temperature_dependent=temperature_dependent,
+    )
+
+
+def build_array_spec(
+    total_flow_ml_min: float = TOTAL_FLOW_ML_MIN,
+    temperature_dependent: bool = False,
+) -> ColaminarCellSpec:
+    """Per-channel cell spec of the Table II array."""
+    layout = build_array_layout()
+    fluid = build_array_fluid(temperature_dependent)
+    anode = TABLE2["anode"]
+    cathode = TABLE2["cathode"]
+    negative = vanadium_negative_couple(
+        rate_constant_m_s=anode["rate_constant_m_s"],
+        diffusivity_m2_s=anode["diffusivity_m2_s"],
+        standard_potential_v=anode["standard_potential_v"],
+        transfer_coefficient=TRANSFER_COEFFICIENT,
+        temperature_dependent=temperature_dependent,
+        kinetic_activation_energy=KINETIC_ACTIVATION_ENERGY,
+        diffusion_activation_energy=DIFFUSION_ACTIVATION_ENERGY,
+    )
+    positive = vanadium_positive_couple(
+        rate_constant_m_s=cathode["rate_constant_m_s"],
+        diffusivity_m2_s=cathode["diffusivity_m2_s"],
+        standard_potential_v=cathode["standard_potential_v"],
+        transfer_coefficient=TRANSFER_COEFFICIENT,
+        temperature_dependent=temperature_dependent,
+        kinetic_activation_energy=KINETIC_ACTIVATION_ENERGY,
+        diffusion_activation_energy=DIFFUSION_ACTIVATION_ENERGY,
+    )
+    conductivity = default_conductivity_model(
+        temperature_dependent=temperature_dependent
+    )
+    anolyte = Electrolyte(
+        fluid, negative,
+        conc_ox=anode["conc_ox_mol_m3"],
+        conc_red=anode["conc_red_mol_m3"],
+        ionic_conductivity=conductivity,
+    )
+    catholyte = Electrolyte(
+        fluid, positive,
+        conc_ox=cathode["conc_ox_mol_m3"],
+        conc_red=cathode["conc_red_mol_m3"],
+        ionic_conductivity=conductivity,
+    )
+    return ColaminarCellSpec(
+        channel=layout.channel,
+        anolyte=anolyte,
+        catholyte=catholyte,
+        volumetric_flow_m3_s=m3s_from_ml_per_min(total_flow_ml_min)
+        / ARRAY_CHANNEL_COUNT,
+    )
+
+
+def build_porous_electrode() -> PorousElectrodeSpec:
+    """Calibrated flow-through electrode of the array channels."""
+    return PorousElectrodeSpec(
+        specific_surface_area_m2_m3=SPECIFIC_SURFACE_AREA_M2_M3,
+        permeability_m2=PERMEABILITY_M2,
+    )
+
+
+def build_array_cell(
+    total_flow_ml_min: float = TOTAL_FLOW_ML_MIN,
+    temperature_k: float = 300.0,
+    temperature_dependent: bool = False,
+    n_segments: int = 40,
+) -> FlowThroughPorousCell:
+    """One array channel as a flow-through porous cell."""
+    spec = build_array_spec(total_flow_ml_min, temperature_dependent)
+    return FlowThroughPorousCell(
+        spec,
+        electrode=build_porous_electrode(),
+        temperature_k=temperature_k,
+        n_segments=n_segments,
+    )
+
+
+def build_array(
+    total_flow_ml_min: float = TOTAL_FLOW_ML_MIN,
+    temperature_k: float = 300.0,
+    temperature_dependent: bool = False,
+    n_points: int = 50,
+) -> FlowCellArray:
+    """The full 88-channel array's electrical model (Fig. 7)."""
+    cell = build_array_cell(
+        total_flow_ml_min, temperature_k, temperature_dependent
+    )
+    curve = cell.polarization_curve(n_points=n_points, max_overpotential_v=1.4)
+    return FlowCellArray(curve, ARRAY_CHANNEL_COUNT, layout=build_array_layout())
+
+
+# -- thermal ---------------------------------------------------------------------
+
+
+def full_load_power_densities(
+    floorplan: "Floorplan | None" = None,
+) -> "dict[BlockKind, float]":
+    """Block power densities [W/m^2] of the full-load operating point.
+
+    Caches carry the explicit 5 W demand; logic and I/O get representative
+    densities; cores absorb the remainder of the 26.7 W/cm2 chip average.
+    """
+    if floorplan is None:
+        floorplan = build_power7_floorplan()
+    total_w = (
+        w_m2_from_w_cm2(PAPER_ANCHORS["chip_average_power_density_w_cm2"])
+        * floorplan.area_m2
+    )
+    cache_w = (
+        PAPER_ANCHORS["cache_current_requirement_a"]
+        * PAPER_ANCHORS["cache_supply_voltage_v"]
+    )
+    area_cache = floorplan.total_area_of(BlockKind.L2, BlockKind.L3)
+    area_core = floorplan.total_area_of(BlockKind.CORE)
+    area_logic = floorplan.total_area_of(BlockKind.LOGIC)
+    area_io = floorplan.total_area_of(BlockKind.IO)
+    logic_density = w_m2_from_w_cm2(10.0)
+    io_density = w_m2_from_w_cm2(5.0)
+    core_density = (
+        total_w - cache_w - logic_density * area_logic - io_density * area_io
+    ) / area_core
+    return {
+        BlockKind.CORE: core_density,
+        BlockKind.L2: cache_w / area_cache,
+        BlockKind.L3: cache_w / area_cache,
+        BlockKind.LOGIC: logic_density,
+        BlockKind.IO: io_density,
+    }
+
+
+def full_load_power_map(
+    nx: int, ny: int, floorplan: "Floorplan | None" = None,
+    utilization: float = 1.0,
+) -> np.ndarray:
+    """Rasterised (ny, nx) full-load power map [W per cell].
+
+    ``utilization`` scales all densities uniformly (used by the
+    bright-silicon study to model partial loading).
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ConfigurationError("utilization must be in [0, 1]")
+    if floorplan is None:
+        floorplan = build_power7_floorplan()
+    densities = {
+        kind: d * utilization
+        for kind, d in full_load_power_densities(floorplan).items()
+    }
+    return floorplan.rasterize_power(densities, nx, ny)
+
+
+def build_thermal_stack(
+    total_flow_ml_min: float = TOTAL_FLOW_ML_MIN,
+    inlet_temperature_k: float = TABLE2["inlet_temperature_k"],
+) -> LayerStack:
+    """The case-study chip stack (Fig. 1): BEOL, die, channel layer, cap."""
+    layout = build_array_layout()
+    fluid = build_array_fluid()
+    return LayerStack([
+        SolidLayer("beol", BEOL_THICKNESS_M, BEOL),
+        SolidLayer("active_si", ACTIVE_SI_THICKNESS_M, SILICON),
+        MicrochannelLayer(
+            "channels",
+            layout,
+            fluid,
+            m3s_from_ml_per_min(total_flow_ml_min),
+            inlet_temperature_k=inlet_temperature_k,
+            heat_transfer_enhancement=HEAT_TRANSFER_ENHANCEMENT,
+        ),
+        SolidLayer("cap", CAP_THICKNESS_M, SILICON),
+    ])
+
+
+def build_thermal_model(
+    nx: int = 88,
+    ny: int = 44,
+    total_flow_ml_min: float = TOTAL_FLOW_ML_MIN,
+    inlet_temperature_k: float = TABLE2["inlet_temperature_k"],
+    utilization: float = 1.0,
+    floorplan: "Floorplan | None" = None,
+) -> ThermalModel:
+    """Thermal model of the full case study, power map already applied."""
+    if floorplan is None:
+        floorplan = build_power7_floorplan()
+    stack = build_thermal_stack(total_flow_ml_min, inlet_temperature_k)
+    model = ThermalModel(stack, floorplan.width_m, floorplan.height_m, nx, ny)
+    model.set_power_map(
+        "active_si", full_load_power_map(nx, ny, floorplan, utilization)
+    )
+    return model
+
+
+# -- hydraulics --------------------------------------------------------------------
+
+
+def array_pressure_drop_pa(total_flow_ml_min: float = TOTAL_FLOW_ML_MIN) -> float:
+    """Darcy pressure drop across the porous array channels [Pa]."""
+    layout = build_array_layout()
+    fluid = build_array_fluid()
+    per_channel = m3s_from_ml_per_min(total_flow_ml_min) / ARRAY_CHANNEL_COUNT
+    return darcy_pressure_drop(
+        layout.channel, fluid, per_channel, PERMEABILITY_M2
+    )
+
+
+def array_pumping_power_w(total_flow_ml_min: float = TOTAL_FLOW_ML_MIN) -> float:
+    """Pumping power of the array [W] (the paper's 4.4 W figure)."""
+    return pumping_power(
+        array_pressure_drop_pa(total_flow_ml_min),
+        m3s_from_ml_per_min(total_flow_ml_min),
+        pump_efficiency=PAPER_ANCHORS["pump_efficiency"],
+    )
+
+
+# -- one-stop container -----------------------------------------------------------------
+
+
+@dataclass
+class Power7CaseStudy:
+    """Lazily built bundle of every case-study component.
+
+    Convenience for examples and benches: construct once, access the
+    floorplan, array, thermal model and PDN with consistent parameters.
+    """
+
+    total_flow_ml_min: float = TOTAL_FLOW_ML_MIN
+    inlet_temperature_k: float = TABLE2["inlet_temperature_k"]
+    nx: int = 88
+    ny: int = 44
+
+    def __post_init__(self) -> None:
+        self.floorplan = build_power7_floorplan()
+        self._array: "FlowCellArray | None" = None
+        self._thermal: "ThermalModel | None" = None
+
+    @property
+    def array(self) -> FlowCellArray:
+        if self._array is None:
+            self._array = build_array(self.total_flow_ml_min)
+        return self._array
+
+    @property
+    def thermal_model(self) -> ThermalModel:
+        if self._thermal is None:
+            self._thermal = build_thermal_model(
+                self.nx, self.ny, self.total_flow_ml_min, self.inlet_temperature_k,
+                floorplan=self.floorplan,
+            )
+        return self._thermal
+
+    @property
+    def array_polarization(self) -> PolarizationCurve:
+        return self.array.curve
+
+    def pumping_power_w(self) -> float:
+        return array_pumping_power_w(self.total_flow_ml_min)
+
+    def pressure_drop_pa(self) -> float:
+        return array_pressure_drop_pa(self.total_flow_ml_min)

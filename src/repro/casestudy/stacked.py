@@ -1,0 +1,98 @@
+"""Multi-tier 3D-stacked MPSoC with interlayer microfluidic cells.
+
+The paper's Fig. 1 explicitly allows "multiple stacked dies" with the
+flow-cell network between tiers — the interlayer-cooling vision of its
+refs [6-8]. The compact thermal model supports any number of microchannel
+layers (separated by silicon), so this module builds the n-tier extension
+of the POWER7+ case study:
+
+- each tier is a full POWER7+ die (its own power map),
+- a Table II channel layer sits on top of every tier,
+- each layer carries the nominal 676 ml/min and its own electrode array,
+  so the stack's generation capability scales with the tier count while
+  the c4/bump budget of the package stays unchanged.
+
+This quantifies the outlook claim that fluidic power delivery "allows
+considerable increases in packaging density".
+"""
+
+from __future__ import annotations
+
+from repro.casestudy.power7plus import (
+    ACTIVE_SI_THICKNESS_M,
+    BEOL_THICKNESS_M,
+    CAP_THICKNESS_M,
+    HEAT_TRANSFER_ENHANCEMENT,
+    TOTAL_FLOW_ML_MIN,
+    build_array_fluid,
+    build_array_layout,
+    full_load_power_map,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.power7 import build_power7_floorplan
+from repro.materials.solids import BEOL, SILICON
+from repro.thermal.model import ThermalModel
+from repro.thermal.stack import LayerStack, MicrochannelLayer, SolidLayer
+from repro.units import m3s_from_ml_per_min
+
+
+def build_stacked_thermal_model(
+    n_tiers: int,
+    nx: int = 88,
+    ny: int = 44,
+    flow_per_layer_ml_min: float = TOTAL_FLOW_ML_MIN,
+    inlet_temperature_k: float = 300.0,
+    utilization: float = 1.0,
+) -> ThermalModel:
+    """Thermal model of an n-tier POWER7+ stack with interlayer cells.
+
+    Layers bottom-to-top, per tier: BEOL, active silicon (power map),
+    channel layer; a silicon cap closes the stack. Every tier gets the
+    full-load POWER7+ power map scaled by ``utilization``.
+    """
+    if n_tiers < 1:
+        raise ConfigurationError(f"need at least one tier, got {n_tiers}")
+    floorplan = build_power7_floorplan()
+    layout = build_array_layout()
+    fluid = build_array_fluid()
+    flow = m3s_from_ml_per_min(flow_per_layer_ml_min)
+
+    layers: "list[SolidLayer | MicrochannelLayer]" = []
+    for tier in range(n_tiers):
+        layers.append(SolidLayer(f"beol_{tier}", BEOL_THICKNESS_M, BEOL))
+        layers.append(
+            SolidLayer(f"active_si_{tier}", ACTIVE_SI_THICKNESS_M, SILICON)
+        )
+        layers.append(
+            MicrochannelLayer(
+                f"channels_{tier}",
+                layout,
+                fluid,
+                flow,
+                inlet_temperature_k=inlet_temperature_k,
+                heat_transfer_enhancement=HEAT_TRANSFER_ENHANCEMENT,
+            )
+        )
+    layers.append(SolidLayer("cap", CAP_THICKNESS_M, SILICON))
+
+    model = ThermalModel(
+        LayerStack(layers), floorplan.width_m, floorplan.height_m, nx, ny
+    )
+    power = full_load_power_map(nx, ny, floorplan, utilization)
+    for tier in range(n_tiers):
+        model.set_power_map(f"active_si_{tier}", power)
+    return model
+
+
+def stack_generation_capability_w(n_tiers: int, voltage_v: float = 1.0) -> float:
+    """Electrical power of the stack's n parallel arrays at a voltage [W].
+
+    Arrays on different tiers are electrically independent (each feeds its
+    own tier's VRM bank), so capability adds linearly.
+    """
+    from repro.casestudy.power7plus import build_array
+
+    if n_tiers < 1:
+        raise ConfigurationError(f"need at least one tier, got {n_tiers}")
+    single = build_array().power_at_voltage(voltage_v)
+    return n_tiers * single

@@ -1,0 +1,79 @@
+"""The paper's parameter tables, transcribed verbatim.
+
+``TABLE1`` — validation flow cell (Kjeang et al. 2007 geometry, paper
+Table I). ``TABLE2`` — the 88-channel array on the IBM POWER7+ (paper
+Table II). Units converted to SI at the point of use, not here, so the
+dictionaries remain a faithful transcription.
+"""
+
+#: Paper Table I — parameters of the validation redox flow cell [18, 20].
+TABLE1 = {
+    "channel_length_mm": 33.0,
+    "channel_width_mm": 2.0,
+    "channel_height_um": 150.0,
+    "flow_rates_ul_min": (2.5, 10.0, 60.0, 300.0),
+    "density_kg_m3": 1260.0,
+    "dynamic_viscosity_mpa_s": 2.53,
+    "anode": {
+        "standard_potential_v": -0.255,
+        "conc_ox_mol_m3": 80.0,
+        "conc_red_mol_m3": 920.0,
+        "diffusivity_m2_s": 1.7e-10,
+        "rate_constant_m_s": 2.0e-5,
+    },
+    "cathode": {
+        "standard_potential_v": 0.991,
+        "conc_ox_mol_m3": 992.0,
+        "conc_red_mol_m3": 8.0,
+        "diffusivity_m2_s": 1.3e-10,
+        "rate_constant_m_s": 1.0e-5,
+    },
+}
+
+#: Paper Table II — parameters of the POWER7+ flow-cell array [20, 24].
+TABLE2 = {
+    "channel_count": 88,
+    "channel_width_um": 200.0,
+    "channel_height_um": 400.0,
+    "channel_pitch_um": 300.0,
+    "channel_length_mm": 22.0,
+    "total_flow_ml_min": 676.0,
+    "thermal_conductivity_w_mk": 0.67,
+    "volumetric_heat_capacity_j_m3k": 4.187e6,
+    "inlet_temperature_k": 300.0,
+    "density_kg_m3": 1260.0,
+    "dynamic_viscosity_mpa_s": 2.53,
+    "anode": {
+        "standard_potential_v": -0.255,
+        "conc_ox_mol_m3": 1.0,
+        "conc_red_mol_m3": 2000.0,
+        "diffusivity_m2_s": 4.13e-10,
+        "rate_constant_m_s": 5.33e-5,
+    },
+    "cathode": {
+        "standard_potential_v": 1.0,
+        "conc_ox_mol_m3": 2000.0,
+        "conc_red_mol_m3": 1.0,
+        "diffusivity_m2_s": 1.26e-10,
+        "rate_constant_m_s": 4.67e-5,
+    },
+}
+
+#: Section III scalar anchors used by the benches.
+PAPER_ANCHORS = {
+    "die_length_mm": 26.55,
+    "die_width_mm": 21.34,
+    "chip_average_power_density_w_cm2": 26.7,
+    "cache_supply_voltage_v": 1.0,
+    "cache_current_requirement_a": 5.0,
+    "array_current_at_1v_a": 6.0,
+    "peak_temperature_c": 41.0,
+    "pumping_power_w": 4.4,
+    "pump_efficiency": 0.5,
+    "reported_pressure_gradient_bar_cm": 1.5,
+    "reported_mean_velocity_m_s": 1.4,
+    "max_current_gain_nominal_flow": 0.04,
+    "power_gain_low_flow_or_warm_inlet": 0.23,
+    "low_flow_ml_min": 48.0,
+    "warm_inlet_c": 37.0,
+}

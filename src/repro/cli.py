@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction a zero-code entry point:
+
+- ``summary``  — the joint case-study evaluation (the paper's headline
+  numbers side by side with ours);
+- ``fig3`` / ``fig7`` / ``fig8`` / ``fig9`` — regenerate one artifact and
+  print its series/map;
+- ``cosim``   — the Section III-B coupling scenarios (slow).
+
+Every command is a thin wrapper over the public API, so the CLI doubles as
+usage documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_summary(_: argparse.Namespace) -> int:
+    from repro.core.report import format_table
+    from repro.core.system import IntegratedPowerCoolingSystem
+
+    system = IntegratedPowerCoolingSystem()
+    ev = system.evaluate(1.0)
+    print(format_table(
+        ["metric", "ours", "paper"],
+        [
+            ["array OCV [V]", ev.array_ocv_v, "~1.6"],
+            ["array current at 1 V [A]", ev.array_current_a, 6.0],
+            ["array power at 1 V [W]", ev.array_power_w, 6.0],
+            ["cache demand [W]", ev.cache_demand_w, 5.0],
+            ["demand met", str(ev.demand_met), "yes"],
+            ["peak temperature [C]", ev.peak_temperature_c, 41.0],
+            ["pumping power [W]", ev.pumping_power_w, 4.4],
+            ["net energy gain [W]", ev.energy_balance.net_w, 1.6],
+            ["PDN window [V]",
+             f"[{ev.pdn_min_voltage_v:.3f}, {ev.pdn_max_voltage_v:.3f}]",
+             "[0.96, 0.995]"],
+            ["bright-silicon utilization", ev.bright_utilization, 1.0],
+        ],
+    ))
+    return 0
+
+
+def _cmd_fig3(_: argparse.Namespace) -> int:
+    from repro.casestudy.validation_cell import build_validation_cell
+    from repro.core.report import format_table
+    from repro.electrochem.polarization import PolarizationCurve
+    from repro.units import ma_cm2_from_a_m2
+    from repro.validation import compare_polarization, reference_curve
+
+    rows = []
+    for flow in (2.5, 10.0, 60.0, 300.0):
+        curve = build_validation_cell(flow).polarization_curve_density(60)
+        model = PolarizationCurve(ma_cm2_from_a_m2(curve.current_a), curve.voltage_v)
+        comparison = compare_polarization(model, reference_curve(flow))
+        rows.append([
+            flow, model.open_circuit_voltage_v, model.max_current_a,
+            100.0 * comparison.max_relative_error,
+        ])
+    print(format_table(
+        ["flow [uL/min]", "OCV [V]", "j_max [mA/cm2]", "max err [%]"], rows
+    ))
+    return 0
+
+
+def _cmd_fig7(_: argparse.Namespace) -> int:
+    from repro.casestudy.power7plus import build_array
+
+    array = build_array()
+    print(f"OCV: {array.open_circuit_voltage_v:.3f} V")
+    for current in (0.0, 2.0, 4.0, 6.0, 10.0, 20.0, 30.0, 40.0, 50.0):
+        if current <= array.max_current_a:
+            print(f"  I = {current:5.1f} A  ->  V = "
+                  f"{array.curve.voltage_at_current(current):.3f} V")
+    print(f"I at 1.0 V: {array.current_at_voltage(1.0):.2f} A (paper: 6 A)")
+    return 0
+
+
+def _cmd_fig8(_: argparse.Namespace) -> int:
+    from repro.core.report import ascii_heatmap
+    from repro.geometry.power7 import build_power7_floorplan
+    from repro.pdn.power7_pdn import solve_cache_pdn
+
+    result = solve_cache_pdn(build_power7_floorplan())
+    print(f"voltage window: [{result.min_voltage_v:.4f}, "
+          f"{result.max_voltage_v:.4f}] V, supply {result.supply_current_a:.2f} A")
+    print(ascii_heatmap(result.voltage_map_v))
+    return 0
+
+
+def _cmd_fig9(_: argparse.Namespace) -> int:
+    from repro.casestudy.power7plus import build_thermal_model
+    from repro.core.report import ascii_heatmap
+
+    solution = build_thermal_model().solve_steady()
+    print(f"peak: {solution.peak_celsius:.1f} C (paper: 41 C)")
+    print(ascii_heatmap(solution.field_celsius("active_si")))
+    return 0
+
+
+def _cmd_cosim(_: argparse.Namespace) -> int:
+    from repro.cosim import CosimConfig, ElectroThermalCosim
+
+    base = dict(nx=44, ny=22, n_channel_groups=11)
+    for label, config in (
+        ("nominal", CosimConfig(**base)),
+        ("48 ml/min", CosimConfig(total_flow_ml_min=48.0, **base)),
+        ("37 C inlet", CosimConfig(inlet_temperature_k=310.15, **base)),
+    ):
+        result = ElectroThermalCosim(config).run()
+        print(f"{label:12s} I = {result.array_current_a:5.2f} A, "
+              f"peak {result.peak_temperature_c:5.1f} C, "
+              f"gain vs own isothermal {100 * result.current_gain:+5.1f} %")
+    return 0
+
+
+_COMMANDS = {
+    "summary": _cmd_summary,
+    "fig3": _cmd_fig3,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "cosim": _cmd_cosim,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Integrated Microfluidic Power "
+        "Generation and Cooling for Bright Silicon MPSoCs' (DATE 2014).",
+    )
+    parser.add_argument(
+        "command", choices=sorted(_COMMANDS), help="artifact to regenerate"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(main())

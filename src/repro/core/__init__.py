@@ -1,0 +1,33 @@
+"""The paper's primary contribution as a single facade.
+
+:class:`~repro.core.system.IntegratedPowerCoolingSystem` wires the flow-cell
+array, PDN, thermal model and hydraulics into the joint evaluation the
+paper performs in Section III, and the bright/dark-silicon analysis its
+introduction motivates:
+
+- :mod:`repro.core.system` — system facade and evaluation report.
+- :mod:`repro.core.metrics` — energy balance and bright-silicon
+  utilization search.
+- :mod:`repro.core.baselines` — conventional air-cooled + c4-delivered
+  MPSoC baseline for comparison.
+- :mod:`repro.core.report` — plain-text rendering of maps and tables.
+"""
+
+from repro.core.baselines import ConventionalBaseline
+from repro.core.metrics import EnergyBalance, bright_silicon_utilization
+from repro.core.report import ascii_heatmap, format_table
+from repro.core.roadmap import SupplyGap, feasibility_matrix, power7_supply_gap
+from repro.core.system import IntegratedPowerCoolingSystem, SystemEvaluation
+
+__all__ = [
+    "IntegratedPowerCoolingSystem",
+    "SystemEvaluation",
+    "EnergyBalance",
+    "bright_silicon_utilization",
+    "ConventionalBaseline",
+    "ascii_heatmap",
+    "format_table",
+    "SupplyGap",
+    "feasibility_matrix",
+    "power7_supply_gap",
+]

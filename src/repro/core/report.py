@@ -1,0 +1,90 @@
+"""Plain-text rendering of maps and result tables.
+
+The paper presents its results as color maps (Figs. 8-9) and prose numbers;
+in a terminal-first library the equivalents are ASCII heat maps and aligned
+tables. These helpers are deliberately dependency-free (no matplotlib in
+the offline environment) and are what the benches print.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Default luminance ramp for ASCII maps, cold -> hot.
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    values: np.ndarray,
+    ramp: str = DEFAULT_RAMP,
+    vmin: "float | None" = None,
+    vmax: "float | None" = None,
+    flip_vertical: bool = True,
+) -> str:
+    """Render a 2-D field as an ASCII map.
+
+    NaN cells (e.g. unpowered floorplan area in the Fig. 8 map) render as
+    spaces. Row 0 of the array is the die's y=0 edge; by default the output
+    is flipped so "up" in the terminal matches "up" in the floorplan, like
+    the paper's figures.
+    """
+    field = np.asarray(values, dtype=float)
+    if field.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D array, got shape {field.shape}")
+    if len(ramp) < 2:
+        raise ConfigurationError("ramp needs at least two characters")
+    finite = field[np.isfinite(field)]
+    if finite.size == 0:
+        raise ConfigurationError("field contains no finite values")
+    lo = float(finite.min()) if vmin is None else float(vmin)
+    hi = float(finite.max()) if vmax is None else float(vmax)
+    if hi <= lo:
+        hi = lo + 1e-12
+    rows = []
+    iterator = field[::-1] if flip_vertical else field
+    scale = (len(ramp) - 1) / (hi - lo)
+    for row in iterator:
+        chars = []
+        for value in row:
+            if math.isnan(value):
+                chars.append(" ")
+            else:
+                index = int(round((min(max(value, lo), hi) - lo) * scale))
+                chars.append(ramp[index])
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def format_table(
+    headers: "list[str]", rows: "list[list[object]]", precision: int = 4
+) -> str:
+    """Align a small table for terminal output.
+
+    Floats are formatted to ``precision`` significant digits; everything
+    else with str(). Columns are left-aligned headers over right-aligned
+    values, separated by two spaces.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ConfigurationError("every row must match the header length")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}g}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in text_rows)) if text_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)),
+        "  ".join("-" * widths[c] for c in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(row[c].rjust(widths[c]) for c in range(len(row))))
+    return "\n".join(lines)

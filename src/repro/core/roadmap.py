@@ -1,0 +1,81 @@
+"""The paper's Section IV roadmap, quantified.
+
+The paper concludes that fully powering a processor electrochemically needs
+a *two-pronged* effort: "(1) the power density of processors has to be
+reduced ... and (2) the power density of electrochemical power delivery has
+to be massively improved". This module turns that statement into numbers:
+
+- the *supply gap*: the ratio between what the chip draws and what the
+  on-chip array can generate at the rail voltage today;
+- a feasibility matrix over (cell-density improvement x chip-power
+  reduction) factor pairs, locating the frontier where the full chip —
+  not just the caches — becomes fluidically self-powered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SupplyGap:
+    """Chip demand vs array capability at the rail voltage."""
+
+    chip_power_w: float
+    array_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.chip_power_w <= 0.0 or self.array_power_w <= 0.0:
+            raise ConfigurationError("powers must be > 0")
+
+    @property
+    def gap_factor(self) -> float:
+        """How many times the array falls short of full-chip supply."""
+        return self.chip_power_w / self.array_power_w
+
+    def is_closed_by(self, cell_improvement: float, chip_reduction: float) -> bool:
+        """Whether a pair of improvement factors closes the gap.
+
+        ``cell_improvement`` multiplies the array's power capability;
+        ``chip_reduction`` divides the chip's demand (architectural
+        efficiency). Both must be >= 1.
+        """
+        if cell_improvement < 1.0 or chip_reduction < 1.0:
+            raise ConfigurationError("improvement factors must be >= 1")
+        return cell_improvement * chip_reduction >= self.gap_factor
+
+
+def feasibility_matrix(
+    gap: SupplyGap,
+    cell_improvements: "tuple[float, ...]" = (1.0, 2.0, 5.0, 10.0, 30.0),
+    chip_reductions: "tuple[float, ...]" = (1.0, 2.0, 3.0, 5.0),
+) -> "tuple[np.ndarray, tuple[float, ...], tuple[float, ...]]":
+    """Boolean matrix [i, j]: does (cell_improvements[i], chip_reductions[j])
+    close the gap? Returned with the axis labels for reporting."""
+    matrix = np.zeros((len(cell_improvements), len(chip_reductions)), dtype=bool)
+    for i, cell in enumerate(cell_improvements):
+        for j, chip in enumerate(chip_reductions):
+            matrix[i, j] = gap.is_closed_by(cell, chip)
+    return matrix, cell_improvements, chip_reductions
+
+
+def minimum_cell_improvement(gap: SupplyGap, chip_reduction: float) -> float:
+    """Cell-density factor needed at a given architectural reduction."""
+    if chip_reduction < 1.0:
+        raise ConfigurationError("chip reduction must be >= 1")
+    return max(1.0, gap.gap_factor / chip_reduction)
+
+
+def power7_supply_gap(voltage_v: float = 1.0) -> SupplyGap:
+    """The case study's gap: full POWER7+ demand vs the Table II array."""
+    from repro.casestudy.power7plus import build_array, full_load_power_map
+    from repro.geometry.power7 import build_power7_floorplan
+
+    floorplan = build_power7_floorplan()
+    chip_power = float(full_load_power_map(88, 44, floorplan).sum())
+    array_power = build_array().power_at_voltage(voltage_v)
+    return SupplyGap(chip_power_w=chip_power, array_power_w=array_power)

@@ -1,0 +1,196 @@
+"""Integrated power-and-cooling system facade.
+
+:class:`IntegratedPowerCoolingSystem` is the library's top-level object: it
+composes the calibrated POWER7+ case study (flow-cell array + thermal model
++ cache PDN + hydraulics + VRM) and evaluates the joint operating point the
+paper reports in Section III:
+
+- array electrical capability at the VRM input voltage,
+- whether the cache demand (5 W at 1 V) is met after conversion losses,
+- the full-load thermal map and its peak,
+- pumping power and the net energy balance,
+- PDN voltage quality, and
+- the bright-silicon/connectivity comparison against the conventional
+  baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.casestudy.power7plus import (
+    Power7CaseStudy,
+    build_thermal_model,
+)
+from repro.casestudy.tables import PAPER_ANCHORS
+from repro.core.baselines import ConventionalBaseline
+from repro.core.metrics import (
+    DEFAULT_TEMPERATURE_LIMIT_C,
+    EnergyBalance,
+    bright_silicon_utilization,
+)
+from repro.errors import ConfigurationError
+from repro.pdn.power7_pdn import CachePdnResult, solve_cache_pdn
+from repro.pdn.vrm import IdealVRM, VoltageRegulator
+from repro.units import bar_per_cm_from_pa_per_m
+
+
+@dataclass(frozen=True)
+class SystemEvaluation:
+    """One joint operating-point evaluation of the integrated system."""
+
+    # electrical
+    array_ocv_v: float
+    array_current_a: float
+    array_power_w: float
+    vrm_efficiency: float
+    delivered_power_w: float
+    cache_demand_w: float
+    # thermal
+    peak_temperature_c: float
+    coolant_outlet_rise_k: float
+    # hydraulic
+    pressure_drop_pa: float
+    pressure_gradient_bar_cm: float
+    pumping_power_w: float
+    # pdn
+    pdn_min_voltage_v: float
+    pdn_max_voltage_v: float
+    # comparisons
+    bright_utilization: float
+    baseline_utilization: float
+    energy_balance: EnergyBalance
+
+    @property
+    def demand_met(self) -> bool:
+        """Whether the delivered power covers the cache demand."""
+        return self.delivered_power_w >= self.cache_demand_w
+
+    @property
+    def dark_silicon_avoided(self) -> float:
+        """Utilization gained over the conventional baseline."""
+        return self.bright_utilization - self.baseline_utilization
+
+
+class IntegratedPowerCoolingSystem:
+    """The paper's proposed system, end to end.
+
+    Parameters
+    ----------
+    case_study:
+        Calibrated POWER7+ component bundle (defaults to Table II nominal).
+    vrm:
+        Regulator between the array and the 1 V cache rail. Defaults to
+        the ideal model, matching how the paper accounts its 6 W figure
+        (array power at the 1 V tap, no conversion loss); pass a
+        :class:`~repro.pdn.vrm.SwitchedCapacitorVRM` or
+        :class:`~repro.pdn.vrm.BuckVRM` for the realistic-converter
+        analysis (bench A3).
+    baseline:
+        Conventional comparator for bright-silicon metrics.
+    temperature_limit_c:
+        Junction limit for the utilization search.
+    """
+
+    def __init__(
+        self,
+        case_study: "Power7CaseStudy | None" = None,
+        vrm: "VoltageRegulator | None" = None,
+        baseline: "ConventionalBaseline | None" = None,
+        temperature_limit_c: float = DEFAULT_TEMPERATURE_LIMIT_C,
+    ) -> None:
+        self.case_study = case_study if case_study is not None else Power7CaseStudy()
+        if vrm is None:
+            vrm = IdealVRM(nominal_output_v=1.0)
+        self.vrm = vrm
+        self.baseline = baseline if baseline is not None else ConventionalBaseline()
+        if temperature_limit_c <= 0.0:
+            raise ConfigurationError("temperature limit must be > 0")
+        self.temperature_limit_c = temperature_limit_c
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _peak_temperature_at(self, utilization: float) -> float:
+        model = build_thermal_model(
+            nx=self.case_study.nx,
+            ny=self.case_study.ny,
+            total_flow_ml_min=self.case_study.total_flow_ml_min,
+            inlet_temperature_k=self.case_study.inlet_temperature_k,
+            utilization=utilization,
+            floorplan=self.case_study.floorplan,
+        )
+        return model.solve_steady().peak_celsius
+
+    def solve_pdn(self) -> CachePdnResult:
+        """Solve the cache power grid (Fig. 8)."""
+        return solve_cache_pdn(self.case_study.floorplan)
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(self, array_input_voltage_v: float = 1.0) -> SystemEvaluation:
+        """Evaluate the nominal full-load operating point.
+
+        ``array_input_voltage_v`` is the voltage the VRMs hold at the array
+        terminals; the array's polarization curve then fixes its current
+        and power. The default 1.0 V reproduces the paper's 6 A / 6 W
+        operating point.
+        """
+        array = self.case_study.array
+        current = array.current_at_voltage(array_input_voltage_v)
+        array_power = current * array_input_voltage_v
+
+        if hasattr(self.vrm, "efficiency"):
+            efficiency = float(self.vrm.efficiency)
+        else:
+            efficiency = 1.0
+        delivered = array_power * efficiency
+
+        thermal = self.case_study.thermal_model.solve_steady()
+        fluid = thermal.field("channels", "fluid")
+        outlet_rise = float(
+            fluid[-1, :].mean() - self.case_study.inlet_temperature_k
+        )
+
+        pdn = self.solve_pdn()
+        pressure = self.case_study.pressure_drop_pa()
+        pumping = self.case_study.pumping_power_w()
+        channel_length = self.case_study.array.layout.channel.length_m
+
+        bright = bright_silicon_utilization(
+            self._peak_temperature_at, self.temperature_limit_c
+        )
+        baseline_util = self.baseline.max_utilization(self.temperature_limit_c)
+
+        return SystemEvaluation(
+            array_ocv_v=array.open_circuit_voltage_v,
+            array_current_a=current,
+            array_power_w=array_power,
+            vrm_efficiency=efficiency,
+            delivered_power_w=delivered,
+            cache_demand_w=(
+                PAPER_ANCHORS["cache_current_requirement_a"]
+                * PAPER_ANCHORS["cache_supply_voltage_v"]
+            ),
+            peak_temperature_c=thermal.peak_celsius,
+            coolant_outlet_rise_k=outlet_rise,
+            pressure_drop_pa=pressure,
+            pressure_gradient_bar_cm=bar_per_cm_from_pa_per_m(
+                pressure / channel_length
+            ),
+            pumping_power_w=pumping,
+            pdn_min_voltage_v=pdn.min_voltage_v,
+            pdn_max_voltage_v=pdn.max_voltage_v,
+            bright_utilization=bright,
+            baseline_utilization=baseline_util,
+            energy_balance=EnergyBalance(
+                generated_w=array_power, pumping_w=pumping
+            ),
+        )
+
+    def io_bumps_freed(self, droop_budget_v: float = 0.05) -> int:
+        """c4 bumps released to I/O by supplying the caches fluidically."""
+        return self.baseline.delivery.io_gain_if_offloaded(
+            PAPER_ANCHORS["cache_current_requirement_a"], droop_budget_v
+        )

@@ -1,0 +1,18 @@
+"""Electro-thermal co-simulation (the paper's Section III-B coupling study).
+
+The flow cells cool the chip, the chip heats the electrolytes, and warmer
+electrolytes react and diffuse faster — so the generated power depends on
+the thermal state and vice versa. :class:`~repro.cosim.coupling.ElectroThermalCosim`
+iterates the two models to a fixed point:
+
+1. solve the thermal model (chip power + flow-cell loss heat),
+2. average the coolant temperature over each channel group,
+3. rebuild each group's electrochemical model at its local temperature,
+4. combine the groups electrically in parallel at the operating voltage,
+5. deposit the cells' polarization-loss heat back into the fluid,
+6. repeat until the channel temperatures settle.
+"""
+
+from repro.cosim.coupling import CosimConfig, CosimResult, ElectroThermalCosim
+
+__all__ = ["CosimConfig", "CosimResult", "ElectroThermalCosim"]

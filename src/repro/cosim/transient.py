@@ -1,0 +1,145 @@
+"""Transient electro-thermal co-simulation.
+
+The steady coupling of :mod:`repro.cosim.coupling` answers "where does the
+system settle"; this module answers "what happens on the way": a workload
+step changes the chip's power map, the thermal state relaxes on its
+~100 ms time constant, and the generated current follows the coolant
+temperature. A DVFS or power-management policy would consume exactly this
+trajectory.
+
+The integration is operator-split per step: one backward-Euler thermal
+step at the current heat load, then an electrochemical update at the new
+channel-group temperatures (the cells respond quasi-statically — their
+species transit time, ~14 ms, is below the thermal step sizes used here,
+and their thermal mass is part of the fluid's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.casestudy.power7plus import (
+    ARRAY_CHANNEL_COUNT,
+    build_array_cell,
+    build_thermal_model,
+)
+from repro.cosim.coupling import CosimConfig
+from repro.errors import ConfigurationError
+from repro.flowcell.array import FlowCellArray
+from repro.thermal.solver import ThermalSolution
+
+
+@dataclass(frozen=True)
+class TransientSample:
+    """One point on the coupled trajectory."""
+
+    time_s: float
+    peak_temperature_c: float
+    mean_coolant_c: float
+    array_current_a: float
+
+
+class TransientCosim:
+    """Step-response co-simulation of the POWER7+ case study.
+
+    Parameters
+    ----------
+    config:
+        Shares the steady co-simulation's configuration (raster, groups,
+        operating voltage, coolant point).
+    """
+
+    def __init__(self, config: CosimConfig = CosimConfig()) -> None:
+        self.config = config
+        self._curve_cache: "dict[float, object]" = {}
+
+    def _group_current(self, temperature_k: float) -> float:
+        """Current of one channel group at its temperature (cached on a
+        0.1 K grid — the electrochemical response is smooth)."""
+        key = round(temperature_k, 1)
+        if key not in self._curve_cache:
+            cell = build_array_cell(
+                total_flow_ml_min=self.config.total_flow_ml_min,
+                temperature_k=key,
+                temperature_dependent=True,
+            )
+            channels = ARRAY_CHANNEL_COUNT // self.config.n_channel_groups
+            self._curve_cache[key] = cell.polarization_curve(
+                n_points=self.config.n_curve_points, max_overpotential_v=1.4
+            ).scaled(channels)
+        return FlowCellArray.combine_at_voltage(
+            [self._curve_cache[key]], self.config.operating_voltage_v
+        )
+
+    def _sample(self, time_s: float, thermal: ThermalSolution) -> TransientSample:
+        fluid = thermal.field("channels", "fluid")
+        groups = self.config.n_channel_groups
+        columns = self.config.nx // groups
+        current = 0.0
+        for g in range(groups):
+            t_group = float(fluid[:, g * columns:(g + 1) * columns].mean())
+            current += self._group_current(t_group)
+        return TransientSample(
+            time_s=time_s,
+            peak_temperature_c=thermal.peak_celsius,
+            mean_coolant_c=float(fluid.mean()) - 273.15,
+            array_current_a=current,
+        )
+
+    def run_step_response(
+        self,
+        utilization_before: float,
+        utilization_after: float,
+        duration_s: float = 1.0,
+        dt_s: float = 0.05,
+    ) -> "list[TransientSample]":
+        """Trajectory of a utilization step at t = 0.
+
+        The system starts at the *steady state* of ``utilization_before``,
+        the power map switches to ``utilization_after``, and the coupled
+        state is sampled every ``dt_s`` for ``duration_s``.
+        """
+        if duration_s <= 0.0 or dt_s <= 0.0 or dt_s > duration_s:
+            raise ConfigurationError("need 0 < dt <= duration")
+        config = self.config
+        before = build_thermal_model(
+            nx=config.nx, ny=config.ny,
+            total_flow_ml_min=config.total_flow_ml_min,
+            inlet_temperature_k=config.inlet_temperature_k,
+            utilization=utilization_before,
+        )
+        state = before.solve_steady()
+
+        after = build_thermal_model(
+            nx=config.nx, ny=config.ny,
+            total_flow_ml_min=config.total_flow_ml_min,
+            inlet_temperature_k=config.inlet_temperature_k,
+            utilization=utilization_after,
+        )
+        samples = [self._sample(0.0, state)]
+        elapsed = 0.0
+        steps = int(round(duration_s / dt_s))
+        for _ in range(steps):
+            state = after.solve_transient(
+                duration_s=dt_s, dt_s=dt_s / 2.0, initial=state
+            )
+            elapsed += dt_s
+            samples.append(self._sample(elapsed, state))
+        return samples
+
+    @staticmethod
+    def settling_time_s(
+        samples: "list[TransientSample]", fraction: float = 0.95
+    ) -> float:
+        """Time to cover ``fraction`` of the peak-temperature transition."""
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError("fraction must be in (0, 1)")
+        start = samples[0].peak_temperature_c
+        end = samples[-1].peak_temperature_c
+        if abs(end - start) < 1e-9:
+            return 0.0
+        for sample in samples:
+            progress = (sample.peak_temperature_c - start) / (end - start)
+            if progress >= fraction:
+                return sample.time_s
+        return samples[-1].time_s

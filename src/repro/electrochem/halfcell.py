@@ -1,0 +1,221 @@
+"""Film-model half-cell.
+
+A :class:`FilmHalfCell` couples one redox couple's Butler-Volmer kinetics to
+a mass-transfer coefficient through the film model, exposing the single
+mapping every cell solver needs: *signed current density -> electrode
+potential* (and its inverse). Positive current density is anodic
+(oxidation); during discharge the negative electrode runs anodically and the
+positive electrode cathodically.
+
+The electrode potential is
+
+    E(j) = E_eq(bulk) + eta(j)
+
+where eta solves Butler-Volmer with the film-model surface concentrations —
+this single eta already contains both the charge-transfer and the
+mass-transport overvoltages of the paper's decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import FARADAY
+from repro.electrochem.butler_volmer import overpotential_for_current
+from repro.electrochem.losses import film_surface_concentrations
+from repro.electrochem.nernst import equilibrium_potential
+from repro.errors import ConfigurationError, OperatingPointError
+from repro.materials.species import RedoxCouple
+
+#: Fraction of the hard transport limit treated as the usable envelope; the
+#: last fraction of a percent produces overpotentials beyond any practical
+#: operating point and is numerically stiff.
+_FEASIBLE_FRACTION = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class FilmHalfCell:
+    """One electrode with film-model mass transport.
+
+    Parameters
+    ----------
+    couple:
+        The redox couple reacting at this electrode.
+    conc_ox / conc_red:
+        Bulk (channel) concentrations [mol/m^3] next to this electrode.
+    mass_transfer_coefficient:
+        Film k_m [m/s] — from the Leveque model for planar electrodes or a
+        porous-media correlation for flow-through electrodes.
+    temperature_k:
+        Local absolute temperature.
+    """
+
+    couple: RedoxCouple
+    conc_ox: float
+    conc_red: float
+    mass_transfer_coefficient: float
+    temperature_k: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.conc_ox < 0.0 or self.conc_red < 0.0:
+            raise ConfigurationError("bulk concentrations must be >= 0")
+        if self.mass_transfer_coefficient <= 0.0:
+            raise ConfigurationError("mass-transfer coefficient must be > 0")
+        if self.temperature_k <= 0.0:
+            raise ConfigurationError("temperature must be > 0 K")
+
+    # -- limits ---------------------------------------------------------------
+
+    @property
+    def anodic_limit_a_m2(self) -> float:
+        """Transport-limited anodic current density (reduced species) [A/m^2]."""
+        return (
+            self.couple.electrons
+            * FARADAY
+            * self.mass_transfer_coefficient
+            * self.conc_red
+        )
+
+    @property
+    def cathodic_limit_a_m2(self) -> float:
+        """Transport-limited cathodic current density (oxidised species) [A/m^2]."""
+        return (
+            self.couple.electrons
+            * FARADAY
+            * self.mass_transfer_coefficient
+            * self.conc_ox
+        )
+
+    def feasible(self, current_density_a_m2: float) -> bool:
+        """Whether a signed current density lies inside the transport envelope."""
+        if current_density_a_m2 >= 0.0:
+            return current_density_a_m2 < self.anodic_limit_a_m2 * _FEASIBLE_FRACTION
+        return -current_density_a_m2 < self.cathodic_limit_a_m2 * _FEASIBLE_FRACTION
+
+    # -- equilibrium ------------------------------------------------------------
+
+    @property
+    def equilibrium_potential_v(self) -> float:
+        """Nernst potential at the bulk composition [V vs SHE]."""
+        return equilibrium_potential(
+            self.couple, self.conc_ox, self.conc_red, self.temperature_k
+        )
+
+    # -- current <-> potential ----------------------------------------------------
+
+    def _surface_concentrations(self, j_signed: float) -> "tuple[float, float]":
+        """(C_ox_s, C_red_s) for a signed current density (anodic positive)."""
+        magnitude = abs(j_signed)
+        if j_signed >= 0.0:
+            red_s, ox_s = film_surface_concentrations(
+                magnitude, self.conc_red, self.conc_ox,
+                self.mass_transfer_coefficient, self.couple.electrons,
+            )
+        else:
+            ox_s, red_s = film_surface_concentrations(
+                magnitude, self.conc_ox, self.conc_red,
+                self.mass_transfer_coefficient, self.couple.electrons,
+            )
+        return ox_s, red_s
+
+    def overpotential(self, current_density_a_m2: float) -> float:
+        """Total overpotential eta [V] sustaining a signed current density.
+
+        Includes activation and mass-transport contributions via the film
+        model. Raises :class:`OperatingPointError` beyond the transport
+        limit.
+        """
+        if current_density_a_m2 == 0.0:
+            return 0.0
+        if not self.feasible(current_density_a_m2):
+            limit = (
+                self.anodic_limit_a_m2
+                if current_density_a_m2 > 0.0
+                else self.cathodic_limit_a_m2
+            )
+            raise OperatingPointError(
+                f"{self.couple.name}: |j| = {abs(current_density_a_m2):.4g} A/m^2 "
+                f"is outside the transport limit {limit:.4g} A/m^2"
+            )
+        ox_s, red_s = self._surface_concentrations(current_density_a_m2)
+        return overpotential_for_current(
+            self.couple,
+            current_density_a_m2,
+            self.conc_ox,
+            self.conc_red,
+            self.temperature_k,
+            conc_ox_surface=ox_s,
+            conc_red_surface=red_s,
+        )
+
+    def electrode_potential(self, current_density_a_m2: float) -> float:
+        """E = E_eq + eta [V vs SHE] at a signed current density."""
+        return self.equilibrium_potential_v + self.overpotential(current_density_a_m2)
+
+    def current_at_overpotential(self, overpotential_v: float) -> float:
+        """Signed current density [A/m^2] at a given total overpotential.
+
+        The film model makes Butler-Volmer *linear* in j once the surface
+        concentrations ``C_s = C_b -+ j/(n*F*k_m)`` are substituted, so the
+        implicit kinetics/transport system has the closed form
+
+            j = j0 * (e_a - e_c) /
+                (1 + (j0/(n*F*k_m)) * (e_a / C_red_b + e_c / C_ox_b))
+
+        with ``e_a = exp((1-alpha)*F*eta/RT)`` and
+        ``e_c = exp(-alpha*F*eta/RT)``. The limits are correct by
+        construction: j -> n*F*k_m*C_red_b as eta -> +inf (anodic transport
+        limit) and j -> -n*F*k_m*C_ox_b as eta -> -inf.
+        """
+        if overpotential_v == 0.0:
+            return 0.0
+        from repro.electrochem.butler_volmer import exchange_current_density
+        from repro.constants import GAS_CONSTANT
+
+        j0 = exchange_current_density(
+            self.couple, self.conc_ox, self.conc_red, self.temperature_k
+        )
+        if j0 <= 0.0:
+            return 0.0
+        n = self.couple.electrons
+        alpha = self.couple.transfer_coefficient
+        f_over_rt = n * FARADAY / (GAS_CONSTANT * self.temperature_k)
+        # Clip the exponent so extreme overpotentials saturate numerically
+        # at the transport limits instead of overflowing.
+        exp_a = math.exp(min((1.0 - alpha) * f_over_rt * overpotential_v, 500.0))
+        exp_c = math.exp(min(-alpha * f_over_rt * overpotential_v, 500.0))
+        nfk = n * FARADAY * self.mass_transfer_coefficient
+        denominator = 1.0
+        if self.conc_red > 0.0:
+            denominator += j0 * exp_a / (nfk * self.conc_red)
+        elif exp_a > 0.0 and overpotential_v > 0.0:
+            return 0.0  # nothing to oxidise
+        if self.conc_ox > 0.0:
+            denominator += j0 * exp_c / (nfk * self.conc_ox)
+        elif overpotential_v < 0.0:
+            return 0.0  # nothing to reduce
+        return j0 * (exp_a - exp_c) / denominator
+
+    def current_at_potential(self, electrode_potential_v: float) -> float:
+        """Signed current density [A/m^2] at a given electrode potential."""
+        return self.current_at_overpotential(
+            electrode_potential_v - self.equilibrium_potential_v
+        )
+
+    def activation_only_overpotential(self, current_density_a_m2: float) -> float:
+        """Charge-transfer overpotential at *bulk* surface concentrations.
+
+        This is the paper's eta_ct; the difference between
+        :meth:`overpotential` and this value is the mass-transport share of
+        the loss. Used for loss-breakdown reporting.
+        """
+        if current_density_a_m2 == 0.0:
+            return 0.0
+        return overpotential_for_current(
+            self.couple,
+            current_density_a_m2,
+            self.conc_ox,
+            self.conc_red,
+            self.temperature_k,
+        )

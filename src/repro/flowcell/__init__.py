@@ -1,0 +1,44 @@
+"""Microfluidic fuel-cell models (the paper's COMSOL substitute).
+
+Three fidelity levels, all built on :mod:`repro.electrochem` and
+:mod:`repro.microfluidics`:
+
+- :class:`~repro.flowcell.planar.PlanarColaminarCell` — analytic film/Leveque
+  model of a co-laminar channel with planar side-wall electrodes (the
+  Table I validation cell, Fig. 3).
+- :class:`~repro.flowcell.porous.FlowThroughPorousCell` — 1-D plug-flow model
+  of a channel whose half-streams are filled with flow-through porous
+  electrodes (the Table II array channels, Fig. 7; see DESIGN.md note 3).
+- :class:`~repro.flowcell.fvm.FiniteVolumeColaminarCell` — quasi-2D marching
+  finite-volume solution of the convection-diffusion species equations with
+  Butler-Volmer wall fluxes (paper eq. 12); resolves depletion layers and
+  the inter-stream mixing zone.
+
+:class:`~repro.flowcell.array.FlowCellArray` lifts any single-channel model
+to the electrically parallel N-channel array of the POWER7+ case study.
+"""
+
+from repro.flowcell.array import FlowCellArray
+from repro.flowcell.cell import ColaminarCellSpec, ElectrodeCharacteristic, assemble_polarization
+from repro.flowcell.fvm import FiniteVolumeColaminarCell
+from repro.flowcell.planar import PlanarColaminarCell
+from repro.flowcell.porous import FlowThroughPorousCell, PorousElectrodeSpec
+from repro.flowcell.recirculation import (
+    ElectrolyteReservoir,
+    RecirculationLoop,
+    tank_volume_for_runtime,
+)
+
+__all__ = [
+    "ColaminarCellSpec",
+    "ElectrodeCharacteristic",
+    "assemble_polarization",
+    "PlanarColaminarCell",
+    "FlowThroughPorousCell",
+    "PorousElectrodeSpec",
+    "FiniteVolumeColaminarCell",
+    "FlowCellArray",
+    "ElectrolyteReservoir",
+    "RecirculationLoop",
+    "tank_volume_for_runtime",
+]

@@ -1,0 +1,179 @@
+"""Flow-cell array: N channels electrically in parallel.
+
+The POWER7+ study connects 88 identical channels in parallel (Fig. 1): they
+share the cell voltage and their currents add. For a uniform-temperature
+array this reduces to scaling one channel's polarization curve by N; the
+electro-thermal co-simulation additionally needs the *heterogeneous* case
+where every channel sits at its own temperature, so the array can also
+combine distinct per-channel curves at a common voltage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.electrochem.polarization import PolarizationCurve
+from repro.errors import ConfigurationError, OperatingPointError
+from repro.geometry.array import ChannelArray
+
+
+class FlowCellArray:
+    """Electrical aggregate of N parallel flow-cell channels.
+
+    Parameters
+    ----------
+    channel_curve:
+        Polarization curve of ONE channel (any of the cell models).
+    count:
+        Number of channels in parallel.
+    layout:
+        Optional :class:`~repro.geometry.array.ChannelArray` carrying the
+        geometric layout, used by reporting and the thermal embedding.
+    """
+
+    def __init__(
+        self,
+        channel_curve: PolarizationCurve,
+        count: int,
+        layout: "ChannelArray | None" = None,
+    ) -> None:
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if layout is not None and layout.count != count:
+            raise ConfigurationError(
+                f"layout holds {layout.count} channels but count={count}"
+            )
+        self.count = count
+        self.layout = layout
+        self.channel_curve = channel_curve
+        self.curve = channel_curve.scaled(
+            count, label=f"{count}-channel array ({channel_curve.label})"
+        )
+
+    # -- characteristics -------------------------------------------------------
+
+    @property
+    def open_circuit_voltage_v(self) -> float:
+        """Array OCV [V] (equals the single-channel OCV)."""
+        return self.curve.open_circuit_voltage_v
+
+    @property
+    def max_current_a(self) -> float:
+        """Largest array current on the sampled curve [A]."""
+        return self.curve.max_current_a
+
+    def current_at_voltage(self, voltage_v: float) -> float:
+        """Array current [A] delivered at a terminal voltage [V]."""
+        return self.curve.current_at_voltage(voltage_v)
+
+    def power_at_voltage(self, voltage_v: float) -> float:
+        """Array electrical power [W] at a terminal voltage [V]."""
+        return self.curve.power_at_voltage(voltage_v)
+
+    @property
+    def max_power_w(self) -> float:
+        """Maximum power point of the array [W]."""
+        return self.curve.max_power_w
+
+    # -- load intersections -----------------------------------------------------
+
+    def operating_point_constant_power(self, power_w: float) -> "tuple[float, float]":
+        """(V, I) where the array delivers a constant power load.
+
+        Picks the high-voltage intersection of P = V*I(V) (the efficient
+        branch). Raises :class:`OperatingPointError` if the array cannot
+        supply the requested power.
+        """
+        if power_w <= 0.0:
+            raise ConfigurationError(f"power must be > 0, got {power_w}")
+        if power_w > self.max_power_w:
+            raise OperatingPointError(
+                f"requested {power_w:.3g} W exceeds array maximum "
+                f"{self.max_power_w:.3g} W"
+            )
+        v_lo = float(self.curve.voltage_v[-1])
+        v_hi = float(self.curve.voltage_v[0]) - 1e-12
+
+        def residual(voltage: float) -> float:
+            return self.power_at_voltage(voltage) - power_w
+
+        # P(V) is zero at OCV and rises as V decreases toward the max power
+        # point; march down from OCV to bracket the efficient branch.
+        v_probe = np.linspace(v_hi, v_lo, 256)
+        previous = residual(v_probe[0])
+        for v in v_probe[1:]:
+            current = residual(v)
+            if previous <= 0.0 <= current or current == 0.0:
+                voltage = float(brentq(residual, v, v + (v_probe[0] - v_probe[1])))
+                return voltage, self.current_at_voltage(voltage)
+            previous = current
+        raise OperatingPointError(
+            f"no operating point found for {power_w:.3g} W on the efficient branch"
+        )
+
+    def operating_point_constant_resistance(self, resistance_ohm: float) -> "tuple[float, float]":
+        """(V, I) where the array feeds a fixed resistive load."""
+        if resistance_ohm <= 0.0:
+            raise ConfigurationError(f"resistance must be > 0, got {resistance_ohm}")
+
+        def residual(voltage: float) -> float:
+            return self.current_at_voltage(voltage) - voltage / resistance_ohm
+
+        v_lo = float(self.curve.voltage_v[-1])
+        v_hi = float(self.curve.voltage_v[0]) - 1e-12
+        r_lo, r_hi = residual(v_lo), residual(v_hi)
+        if r_lo * r_hi > 0.0:
+            # The load line may cross outside the sampled window; the only
+            # physical possibility left is the low-voltage end.
+            raise OperatingPointError(
+                f"load line R={resistance_ohm:.3g} Ohm does not intersect the "
+                "sampled polarization curve"
+            )
+        voltage = float(brentq(residual, v_lo, v_hi))
+        return voltage, voltage / resistance_ohm
+
+    # -- heterogeneous combination -------------------------------------------------
+
+    @staticmethod
+    def combine_at_voltage(
+        channel_curves: Sequence[PolarizationCurve], voltage_v: float
+    ) -> float:
+        """Total current [A] of distinct parallel channels at one voltage.
+
+        Channels whose curve does not reach the requested voltage (e.g. a
+        cold channel with OCV below it) contribute zero — they are
+        open-circuit at that terminal voltage rather than sinks, because a
+        discharge-only cell cannot conduct in reverse in this model.
+        """
+        total = 0.0
+        for curve in channel_curves:
+            v_min = float(curve.voltage_v[-1])
+            v_max = float(curve.voltage_v[0])
+            if voltage_v >= v_max:
+                continue
+            clamped = max(voltage_v, v_min)
+            total += curve.current_at_voltage(clamped)
+        return total
+
+    @staticmethod
+    def combined_curve(
+        channel_curves: Sequence[PolarizationCurve],
+        n_points: int = 60,
+        label: str = "heterogeneous array",
+    ) -> PolarizationCurve:
+        """Aggregate polarization curve of distinct parallel channels."""
+        if not channel_curves:
+            raise ConfigurationError("need at least one channel curve")
+        v_top = max(float(c.voltage_v[0]) for c in channel_curves)
+        v_bot = min(float(c.voltage_v[-1]) for c in channel_curves)
+        voltages = np.linspace(v_top - 1e-9, max(v_bot, 1e-6), n_points)
+        currents = np.array(
+            [FlowCellArray.combine_at_voltage(channel_curves, v) for v in voltages]
+        )
+        order = np.argsort(currents)
+        currents, voltages = currents[order], voltages[order]
+        keep = np.concatenate(([True], np.diff(currents) > 1e-12))
+        return PolarizationCurve(currents[keep], voltages[keep], label=label)

@@ -1,0 +1,15 @@
+"""Geometric descriptions: microchannels, channel arrays and floorplans."""
+
+from repro.geometry.array import ChannelArray
+from repro.geometry.channel import RectangularChannel
+from repro.geometry.floorplan import Block, BlockKind, Floorplan
+from repro.geometry.power7 import build_power7_floorplan
+
+__all__ = [
+    "RectangularChannel",
+    "ChannelArray",
+    "Block",
+    "BlockKind",
+    "Floorplan",
+    "build_power7_floorplan",
+]

@@ -1,0 +1,84 @@
+"""Serialization of configurations and results.
+
+Reproducibility plumbing: every experiment configuration and result in the
+library is a (frozen) dataclass, so one generic encoder covers them all.
+Supports nested dataclasses, numpy arrays/scalars, enums and the basic
+containers; output is plain JSON so runs can be archived and diffed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def to_jsonable(value: object) -> object:
+    """Recursively convert a value into JSON-encodable primitives.
+
+    Dataclasses become dicts (with a ``__type__`` tag for provenance),
+    numpy arrays become nested lists, numpy scalars become Python numbers,
+    enums become their value. Unknown object types are rejected rather than
+    silently stringified.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload = {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        payload["__type__"] = type(value).__name__
+        return payload
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigurationError(
+        f"cannot serialise {type(value).__name__}; add a converter or "
+        "export a plain dataclass"
+    )
+
+
+def dumps(value: object, indent: int = 2) -> str:
+    """JSON-encode any supported value."""
+    return json.dumps(to_jsonable(value), indent=indent, sort_keys=True)
+
+
+def save_json(value: object, path: "str | Path") -> Path:
+    """Write a value as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(dumps(value) + "\n")
+    return path
+
+
+def load_json(path: "str | Path") -> object:
+    """Read back a JSON file written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def evaluation_record(evaluation, label: str = "") -> "dict[str, object]":
+    """Flatten a :class:`~repro.core.system.SystemEvaluation` for archiving.
+
+    Adds the anchor comparisons a result log wants inline.
+    """
+    record = to_jsonable(evaluation)
+    assert isinstance(record, dict)
+    record["label"] = label
+    record["anchors"] = {
+        "array_current_at_1v_paper_a": 6.0,
+        "peak_temperature_paper_c": 41.0,
+        "pumping_power_paper_w": 4.4,
+    }
+    return record

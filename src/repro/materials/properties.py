@@ -1,0 +1,114 @@
+"""Temperature-dependence models for material properties.
+
+The paper's Section III-B stresses that several electrochemical and fluid
+parameters are temperature dependent (kinetic rate constant, diffusion
+coefficient, electrolytic conductivity, density, dynamic viscosity, transfer
+coefficient). We represent each property as a callable of absolute
+temperature so that a single :class:`TemperatureModel` protocol serves all of
+them, and isothermal models are just :class:`Constant` instances.
+
+All models are defined around a reference temperature so that a property can
+be specified exactly as the literature reports it ("D = 1.3e-10 m^2/s at
+300 K, activation energy 20 kJ/mol").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.constants import GAS_CONSTANT
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class TemperatureModel(Protocol):
+    """A scalar physical property as a function of absolute temperature."""
+
+    def __call__(self, temperature_k: float) -> float:
+        """Evaluate the property at ``temperature_k`` [K]."""
+        ...
+
+
+def _require_positive_temperature(temperature_k: float) -> None:
+    if temperature_k <= 0.0:
+        raise ValueError(f"absolute temperature must be > 0 K, got {temperature_k}")
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A temperature-independent property value."""
+
+    value: float
+
+    def __call__(self, temperature_k: float) -> float:
+        _require_positive_temperature(temperature_k)
+        return self.value
+
+
+@dataclass(frozen=True)
+class LinearInT:
+    """Property varying linearly with temperature around a reference.
+
+    ``value(T) = value_ref * (1 + slope_per_k * (T - t_ref_k))``
+
+    Used for weakly temperature-sensitive properties such as electrolyte
+    density or the charge-transfer coefficient.
+    """
+
+    value_ref: float
+    slope_per_k: float
+    t_ref_k: float = 300.0
+
+    def __call__(self, temperature_k: float) -> float:
+        _require_positive_temperature(temperature_k)
+        return self.value_ref * (1.0 + self.slope_per_k * (temperature_k - self.t_ref_k))
+
+
+@dataclass(frozen=True)
+class Arrhenius:
+    """Arrhenius-activated property.
+
+    ``value(T) = value_ref * exp(-(Ea/R) * (1/T - 1/t_ref))``
+
+    With a positive activation energy the property *increases* with
+    temperature (kinetic rate constants, diffusion coefficients, ionic
+    conductivity). Pass ``increases_with_t=False`` for properties that
+    *decrease* with temperature following the same exponential law, such as
+    the dynamic viscosity of aqueous electrolytes.
+    """
+
+    value_ref: float
+    activation_energy_j_mol: float
+    t_ref_k: float = 300.0
+    increases_with_t: bool = True
+
+    def __post_init__(self) -> None:
+        if self.activation_energy_j_mol < 0.0:
+            raise ConfigurationError(
+                "activation energy must be >= 0; use increases_with_t=False "
+                "for properties that fall with temperature"
+            )
+        if self.t_ref_k <= 0.0:
+            raise ConfigurationError(f"reference temperature must be > 0, got {self.t_ref_k}")
+
+    def __call__(self, temperature_k: float) -> float:
+        _require_positive_temperature(temperature_k)
+        exponent = -(self.activation_energy_j_mol / GAS_CONSTANT) * (
+            1.0 / temperature_k - 1.0 / self.t_ref_k
+        )
+        if not self.increases_with_t:
+            exponent = -exponent
+        return self.value_ref * math.exp(exponent)
+
+
+def as_model(value: "TemperatureModel | float") -> TemperatureModel:
+    """Coerce a plain number into a :class:`Constant` model.
+
+    Accepting bare floats wherever a :class:`TemperatureModel` is expected
+    keeps isothermal configuration terse: ``Fluid(density=1260.0, ...)``.
+    """
+    if isinstance(value, (int, float)):
+        return Constant(float(value))
+    return value

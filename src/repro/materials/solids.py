@@ -1,0 +1,100 @@
+"""Solid materials for the thermal and power-grid models.
+
+Each :class:`SolidMaterial` carries the two properties the compact thermal
+model needs (thermal conductivity and volumetric heat capacity) plus an
+electrical resistivity used by the PDN/TSV models where relevant.
+
+Values are standard bulk figures at ~300 K. The thermal model treats solids
+as temperature-independent, which is accurate to a few percent over the
+27-85 C range this study spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SolidMaterial:
+    """A homogeneous solid material.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in layer-stack descriptions and reports.
+    thermal_conductivity:
+        k [W/(m*K)].
+    volumetric_heat_capacity:
+        rho*cp [J/(m^3*K)] — used by the transient thermal solver.
+    electrical_resistivity:
+        rho_e [Ohm*m]; ``None`` for insulators.
+    """
+
+    name: str
+    thermal_conductivity: float
+    volumetric_heat_capacity: float
+    electrical_resistivity: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.thermal_conductivity <= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: thermal conductivity must be > 0, "
+                f"got {self.thermal_conductivity}"
+            )
+        if self.volumetric_heat_capacity <= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: volumetric heat capacity must be > 0, "
+                f"got {self.volumetric_heat_capacity}"
+            )
+        if self.electrical_resistivity is not None and self.electrical_resistivity <= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: electrical resistivity must be > 0 when given"
+            )
+
+
+#: Bulk crystalline silicon at 300 K.
+SILICON = SolidMaterial(
+    name="silicon",
+    thermal_conductivity=130.0,
+    volumetric_heat_capacity=1.63e6,
+)
+
+#: Copper interconnect metal.
+COPPER = SolidMaterial(
+    name="copper",
+    thermal_conductivity=400.0,
+    volumetric_heat_capacity=3.45e6,
+    electrical_resistivity=1.72e-8,
+)
+
+#: Inter-layer dielectric / BEOL oxide (effective).
+SILICON_DIOXIDE = SolidMaterial(
+    name="silicon dioxide",
+    thermal_conductivity=1.4,
+    volumetric_heat_capacity=1.65e6,
+)
+
+#: Effective BEOL stack (oxide + wiring), as used by 3D-ICE-style models.
+BEOL = SolidMaterial(
+    name="BEOL (effective)",
+    thermal_conductivity=2.25,
+    volumetric_heat_capacity=2.0e6,
+)
+
+#: Thermal interface material between stacked dies/caps.
+THERMAL_INTERFACE = SolidMaterial(
+    name="thermal interface material",
+    thermal_conductivity=4.0,
+    volumetric_heat_capacity=2.0e6,
+)
+
+#: Porous carbon electrode material (fibrous, electrolyte-saturated
+#: effective properties) for flow-through electrode channels.
+POROUS_CARBON = SolidMaterial(
+    name="porous carbon (saturated)",
+    thermal_conductivity=1.6,
+    volumetric_heat_capacity=3.4e6,
+    electrical_resistivity=8.0e-5,
+)

@@ -1,0 +1,36 @@
+"""On-chip power-delivery-network (PDN) models.
+
+Implements the Section III-A study: the microfluidic cell array feeds the
+POWER7+ cache power grid through TSVs and in-package voltage regulators
+(Figs. 5-6), producing the on-die voltage map of Fig. 8.
+
+- :mod:`repro.pdn.grid` — resistive grid construction on a die raster.
+- :mod:`repro.pdn.solver` — sparse nodal analysis and result containers.
+- :mod:`repro.pdn.vrm` — voltage-regulator models (ideal, switched
+  capacitor per Andersen 2013, buck per Onizuka 2007).
+- :mod:`repro.pdn.tsv` — through-silicon-via bundle resistance model.
+- :mod:`repro.pdn.c4` — conventional c4-bump delivery baseline.
+- :mod:`repro.pdn.power7_pdn` — the case-study cache grid builder.
+"""
+
+from repro.pdn.c4 import C4DeliveryBaseline
+from repro.pdn.grid import PowerGrid
+from repro.pdn.solver import GridSolution, solve_grid
+from repro.pdn.tsv import TsvBundle
+from repro.pdn.vrm import BuckVRM, IdealVRM, SwitchedCapacitorVRM, VoltageRegulator
+from repro.pdn.power7_pdn import CachePdnResult, build_cache_pdn, solve_cache_pdn
+
+__all__ = [
+    "PowerGrid",
+    "GridSolution",
+    "solve_grid",
+    "VoltageRegulator",
+    "IdealVRM",
+    "SwitchedCapacitorVRM",
+    "BuckVRM",
+    "TsvBundle",
+    "C4DeliveryBaseline",
+    "build_cache_pdn",
+    "solve_cache_pdn",
+    "CachePdnResult",
+]

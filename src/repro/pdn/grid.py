@@ -1,0 +1,181 @@
+"""Resistive power-grid construction.
+
+A :class:`PowerGrid` is a raster of nodes over (part of) the die connected
+by the effective sheet resistance of the on-chip power mesh, with
+
+- *loads*: constant-current sinks at powered cells (the standard linearised
+  treatment of logic/memory power draw at nominal voltage), and
+- *feeds*: Norton-equivalent connections to a regulated source voltage
+  through a series feed resistance (TSV bundle + VRM output impedance).
+
+Nodes can be masked off (cells outside the powered domain), which is how
+the cache-only voltage domain of the case study is represented: each cache
+block becomes an electrically independent island with its own feeds, all
+solved in one sparse system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PowerGrid:
+    """Rectangular-raster resistive power grid.
+
+    Parameters
+    ----------
+    nx / ny:
+        Raster resolution (nodes) along the die length and width.
+    pitch_x_m / pitch_y_m:
+        Physical node spacing [m].
+    sheet_resistance_ohm_sq:
+        Effective sheet resistance of the power mesh [Ohm/square]. The
+        branch resistance between adjacent nodes is R_sheet * pitch_par /
+        pitch_perp.
+    mask:
+        Boolean (ny, nx) array of electrically present nodes; ``None``
+        means all nodes exist.
+    """
+
+    nx: int
+    ny: int
+    pitch_x_m: float
+    pitch_y_m: float
+    sheet_resistance_ohm_sq: float
+    mask: "np.ndarray | None" = None
+    #: current sink per node [A]; shape (ny, nx)
+    loads_a: np.ndarray = field(init=False)
+    #: feed conductance per node [S]; shape (ny, nx)
+    feed_conductance_s: np.ndarray = field(init=False)
+    #: feed source voltage per node [V]; shape (ny, nx)
+    feed_voltage_v: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ConfigurationError(f"grid must be at least 1x1, got {self.nx}x{self.ny}")
+        if self.pitch_x_m <= 0.0 or self.pitch_y_m <= 0.0:
+            raise ConfigurationError("pitches must be > 0")
+        if self.sheet_resistance_ohm_sq <= 0.0:
+            raise ConfigurationError("sheet resistance must be > 0")
+        if self.mask is None:
+            self.mask = np.ones((self.ny, self.nx), dtype=bool)
+        else:
+            self.mask = np.asarray(self.mask, dtype=bool)
+            if self.mask.shape != (self.ny, self.nx):
+                raise ConfigurationError(
+                    f"mask shape {self.mask.shape} != grid ({self.ny}, {self.nx})"
+                )
+        self.loads_a = np.zeros((self.ny, self.nx))
+        self.feed_conductance_s = np.zeros((self.ny, self.nx))
+        self.feed_voltage_v = np.zeros((self.ny, self.nx))
+
+    # -- construction helpers -------------------------------------------------
+
+    def add_load(self, ix: int, iy: int, current_a: float) -> None:
+        """Add a constant-current sink at node (ix, iy)."""
+        self._check_node(ix, iy)
+        if current_a < 0.0:
+            raise ConfigurationError("load current must be >= 0 (sinks only)")
+        self.loads_a[iy, ix] += current_a
+
+    def add_feed(self, ix: int, iy: int, source_voltage_v: float,
+                 feed_resistance_ohm: float) -> None:
+        """Connect node (ix, iy) to a source through a series resistance.
+
+        Multiple feeds on one node combine in parallel (conductances add;
+        the source voltage becomes the conductance-weighted average).
+        """
+        self._check_node(ix, iy)
+        if feed_resistance_ohm <= 0.0:
+            raise ConfigurationError("feed resistance must be > 0")
+        g_new = 1.0 / feed_resistance_ohm
+        g_old = self.feed_conductance_s[iy, ix]
+        v_old = self.feed_voltage_v[iy, ix]
+        g_total = g_old + g_new
+        self.feed_conductance_s[iy, ix] = g_total
+        self.feed_voltage_v[iy, ix] = (g_old * v_old + g_new * source_voltage_v) / g_total
+
+    def _check_node(self, ix: int, iy: int) -> None:
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise ConfigurationError(f"node ({ix}, {iy}) outside grid {self.nx}x{self.ny}")
+        if not self.mask[iy, ix]:
+            raise ConfigurationError(f"node ({ix}, {iy}) is masked out of the grid")
+
+    # -- branch conductances ---------------------------------------------------
+
+    @property
+    def branch_conductance_x_s(self) -> float:
+        """Node-to-node conductance along x [S]."""
+        return self.pitch_y_m / (self.sheet_resistance_ohm_sq * self.pitch_x_m)
+
+    @property
+    def branch_conductance_y_s(self) -> float:
+        """Node-to-node conductance along y [S]."""
+        return self.pitch_x_m / (self.sheet_resistance_ohm_sq * self.pitch_y_m)
+
+    # -- assembly ---------------------------------------------------------------
+
+    def assemble(self) -> "tuple[sparse.csr_matrix, np.ndarray, np.ndarray]":
+        """Build the nodal system G*v = b over the masked nodes.
+
+        Returns ``(G, b, index_map)`` where ``index_map`` is an (ny, nx)
+        int array giving each active node's unknown index (-1 for masked
+        nodes). G is SPD as long as every connected component contains at
+        least one feed; :func:`repro.pdn.solver.solve_grid` verifies this.
+        """
+        active = self.mask
+        index_map = -np.ones((self.ny, self.nx), dtype=int)
+        index_map[active] = np.arange(int(active.sum()))
+        n = int(active.sum())
+        if n == 0:
+            raise ConfigurationError("grid has no active nodes")
+
+        rows: "list[np.ndarray]" = []
+        cols: "list[np.ndarray]" = []
+        vals: "list[np.ndarray]" = []
+
+        def stamp_pairs(ia: np.ndarray, ib: np.ndarray, g: float) -> None:
+            rows.extend((ia, ib, ia, ib))
+            cols.extend((ia, ib, ib, ia))
+            vals.extend((
+                np.full(ia.size, g), np.full(ia.size, g),
+                np.full(ia.size, -g), np.full(ia.size, -g),
+            ))
+
+        # Horizontal branches between active neighbours.
+        both_x = active[:, :-1] & active[:, 1:]
+        ia = index_map[:, :-1][both_x]
+        ib = index_map[:, 1:][both_x]
+        if ia.size:
+            stamp_pairs(ia, ib, self.branch_conductance_x_s)
+        # Vertical branches.
+        both_y = active[:-1, :] & active[1:, :]
+        ia = index_map[:-1, :][both_y]
+        ib = index_map[1:, :][both_y]
+        if ia.size:
+            stamp_pairs(ia, ib, self.branch_conductance_y_s)
+
+        # Feed conductances on the diagonal.
+        has_feed = (self.feed_conductance_s > 0.0) & active
+        idx_feed = index_map[has_feed]
+        rows.append(idx_feed)
+        cols.append(idx_feed)
+        vals.append(self.feed_conductance_s[has_feed])
+
+        g_matrix = sparse.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n),
+        ).tocsr()
+
+        b = np.zeros(n)
+        b[index_map[active]] = (
+            self.feed_conductance_s[active] * self.feed_voltage_v[active]
+            - self.loads_a[active]
+        )
+        return g_matrix, b, index_map

@@ -1,0 +1,28 @@
+"""Compact thermal model (3D-ICE style) with microchannel layers.
+
+Re-implements the modelling approach of the paper's thermal engine, 3D-ICE
+(Sridhar et al., the paper's ref [7]): the chip stack is discretised into a
+3-D grid of thermal cells — solid cells exchanging heat by conduction,
+microchannel fluid cells exchanging heat with their walls by convection and
+transporting enthalpy downstream by advection. Steady-state (Fig. 9) and
+transient (backward-Euler) solvers are provided.
+
+- :mod:`repro.thermal.stack` — layer-stack description (solid layers and
+  microchannel layers).
+- :mod:`repro.thermal.model` — grid assembly and the
+  :class:`~repro.thermal.model.ThermalModel` facade.
+- :mod:`repro.thermal.solver` — sparse steady/transient linear solvers and
+  the :class:`~repro.thermal.solver.ThermalSolution` container.
+"""
+
+from repro.thermal.model import ThermalModel
+from repro.thermal.solver import ThermalSolution
+from repro.thermal.stack import LayerStack, MicrochannelLayer, SolidLayer
+
+__all__ = [
+    "SolidLayer",
+    "MicrochannelLayer",
+    "LayerStack",
+    "ThermalModel",
+    "ThermalSolution",
+]

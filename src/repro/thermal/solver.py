@@ -1,0 +1,156 @@
+"""Sparse solvers and solution container for the thermal model.
+
+Separated from the assembly code so the solution object can be unit-tested
+and so alternative solvers (e.g. iterative, for very large rasters) can be
+swapped in without touching the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import splu
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.units import celsius_from_kelvin
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.thermal.model import ThermalModel
+
+
+@dataclass(frozen=True)
+class ThermalSolution:
+    """Temperature fields of one thermal solve.
+
+    Attributes
+    ----------
+    temperatures_k:
+        Flat DOF vector [K].
+    model:
+        The model that produced this solution (for field lookups).
+    """
+
+    temperatures_k: np.ndarray
+    model: "ThermalModel"
+
+    def field(self, layer_name: str, kind: "str | None" = None) -> np.ndarray:
+        """(ny, nx) temperature map [K] of a layer field.
+
+        ``kind`` defaults to "solid" for solid layers and "fluid" for
+        channel layers; pass "wall" for a channel layer's wall field.
+        """
+        f = self.model._field(layer_name, kind)
+        nx, ny = self.model.nx, self.model.ny
+        return self.temperatures_k[f.offset: f.offset + nx * ny].reshape(ny, nx)
+
+    def field_celsius(self, layer_name: str, kind: "str | None" = None) -> np.ndarray:
+        """(ny, nx) temperature map [degC] of a layer field."""
+        return self.field(layer_name, kind) - 273.15
+
+    @property
+    def peak_k(self) -> float:
+        """Hottest DOF in the whole stack [K]."""
+        return float(self.temperatures_k.max())
+
+    @property
+    def peak_celsius(self) -> float:
+        """Hottest DOF in the whole stack [degC]."""
+        return celsius_from_kelvin(self.peak_k)
+
+    @property
+    def min_k(self) -> float:
+        """Coldest DOF [K] (bounded below by the coolant inlet)."""
+        return float(self.temperatures_k.min())
+
+    def coolant_heat_removal_w(self) -> float:
+        """Heat advected out by all channel layers [W].
+
+        At steady state this equals the injected power (energy balance);
+        the difference is the conservation error reported by
+        :meth:`energy_balance_error_w`.
+        """
+        total = 0.0
+        for layer in self.model.stack:
+            if not layer.is_channel:
+                continue
+            geometry = self.model._channel_geometry(layer)
+            fluid = self.field(layer.name, "fluid")
+            outlet = fluid[-1, :] if layer.array.flow_axis == "y" else fluid[:, -1]
+            mcp = np.asarray(geometry["mcp"], dtype=float)
+            total += float(
+                np.sum(mcp * (outlet - layer.inlet_temperature_k))
+            )
+        return total
+
+    def energy_balance_error_w(self) -> float:
+        """Injected power minus coolant heat removal [W] (steady only)."""
+        return self.model.total_power_w() - self.coolant_heat_removal_w()
+
+
+def solve_steady(
+    model: "ThermalModel", matrix: sparse.csr_matrix, rhs: np.ndarray
+) -> ThermalSolution:
+    """Direct sparse LU solve of the steady system."""
+    try:
+        lu = splu(matrix.tocsc())
+    except RuntimeError as error:  # singular matrix
+        raise ConfigurationError(
+            "steady thermal system is singular — does the stack contain a "
+            f"microchannel layer to carry heat away? ({error})"
+        ) from error
+    temperatures = lu.solve(rhs)
+    if not np.all(np.isfinite(temperatures)):
+        raise ConvergenceError("thermal solve produced non-finite temperatures")
+    # A singular system (no heat-removal path: conduction-only adiabatic
+    # stack) can pass LU with pivot perturbation and return garbage; the
+    # residual catches it.
+    residual = np.abs(matrix @ temperatures - rhs).max()
+    scale = max(np.abs(rhs).max(), 1e-30)
+    if residual > 1e-6 * scale:
+        raise ConfigurationError(
+            "steady thermal system is ill-posed (relative residual "
+            f"{residual / scale:.2e}) — does the stack contain a microchannel "
+            "layer to carry heat away?"
+        )
+    return ThermalSolution(temperatures_k=temperatures, model=model)
+
+
+def solve_transient(
+    model: "ThermalModel",
+    matrix: sparse.csr_matrix,
+    rhs: np.ndarray,
+    duration_s: float,
+    dt_s: float,
+    initial: "ThermalSolution | float | None" = None,
+) -> ThermalSolution:
+    """Backward-Euler integration of C*dT/dt = -A*T + q.
+
+    Unconditionally stable; the step size only controls accuracy. Returns
+    the state at ``duration_s``.
+    """
+    if duration_s <= 0.0 or dt_s <= 0.0:
+        raise ConfigurationError("duration and dt must be > 0")
+    if dt_s > duration_s:
+        dt_s = duration_s
+    capacitance = model.capacitance_vector()
+    if np.any(capacitance <= 0.0):
+        raise ConfigurationError("all DOFs need positive heat capacitance")
+
+    if initial is None:
+        state = np.full(model.n_dof, model.inlet_temperature_k)
+    elif isinstance(initial, ThermalSolution):
+        state = initial.temperatures_k.copy()
+    else:
+        state = np.full(model.n_dof, float(initial))
+
+    c_over_dt = sparse.diags(capacitance / dt_s)
+    lu = splu((matrix + c_over_dt).tocsc())
+    steps = int(round(duration_s / dt_s))
+    for _ in range(max(1, steps)):
+        state = lu.solve(rhs + (capacitance / dt_s) * state)
+    if not np.all(np.isfinite(state)):
+        raise ConvergenceError("transient solve produced non-finite temperatures")
+    return ThermalSolution(temperatures_k=state, model=model)

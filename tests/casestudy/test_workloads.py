@@ -1,0 +1,107 @@
+"""Tests for workload scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.casestudy.power7plus import build_thermal_stack
+from repro.casestudy.workloads import (
+    Workload,
+    full_load,
+    half_dark,
+    idle,
+    memory_bound,
+    standard_workloads,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.floorplan import BlockKind
+from repro.thermal.model import ThermalModel
+
+
+class TestWorkloadDefinition:
+    def test_default_activity_is_full(self):
+        workload = Workload(name="x")
+        assert workload.factor_for("core1_bot", BlockKind.CORE) == 1.0
+
+    def test_kind_factor_applies(self):
+        workload = Workload(name="x", activity={BlockKind.CORE: 0.5})
+        assert workload.factor_for("core1_bot", BlockKind.CORE) == 0.5
+        assert workload.factor_for("l21_bot", BlockKind.L2) == 1.0
+
+    def test_block_override_wins(self):
+        workload = Workload(
+            name="x",
+            activity={BlockKind.CORE: 0.5},
+            block_overrides={"core1_bot": 0.0},
+        )
+        assert workload.factor_for("core1_bot", BlockKind.CORE) == 0.0
+        assert workload.factor_for("core2_bot", BlockKind.CORE) == 0.5
+
+    def test_rejects_silly_factors(self):
+        with pytest.raises(ConfigurationError):
+            Workload(name="x", activity={BlockKind.CORE: -0.1})
+        with pytest.raises(ConfigurationError):
+            Workload(name="x", block_overrides={"a": 2.0})
+
+
+class TestPowerMaps:
+    def test_full_load_matches_case_study(self, floorplan):
+        from repro.casestudy.power7plus import full_load_power_map
+
+        workload_map = full_load().power_map(53, 42, floorplan)
+        reference = full_load_power_map(53, 42, floorplan)
+        assert np.allclose(workload_map, reference)
+
+    def test_power_ordering(self, floorplan):
+        powers = {
+            w.name: w.total_power_w(floorplan) for w in standard_workloads()
+        }
+        assert powers["full load"] > powers["memory bound"]
+        assert powers["memory bound"] > powers["idle"]
+        assert powers["full load"] > powers["half dark"] > powers["idle"]
+
+    def test_half_dark_gates_half_the_cores(self, floorplan):
+        workload = half_dark()
+        gated = [name for name, f in workload.block_overrides.items() if f < 0.1]
+        assert len(gated) == 4  # 8 cores, half gated
+
+    def test_idle_is_small_but_nonzero(self, floorplan):
+        power = idle().total_power_w(floorplan)
+        full = full_load().total_power_w(floorplan)
+        assert 0.0 < power < 0.15 * full
+
+
+class TestWorkloadThermal:
+    @pytest.fixture(scope="class")
+    def solve(self, floorplan):
+        def _solve(workload):
+            model = ThermalModel(
+                build_thermal_stack(), floorplan.width_m, floorplan.height_m,
+                44, 22,
+            )
+            model.set_power_map("active_si", workload.power_map(44, 22, floorplan))
+            return model.solve_steady()
+        return _solve
+
+    def test_peak_follows_workload_intensity(self, solve):
+        peak_full = solve(full_load()).peak_celsius
+        peak_memory = solve(memory_bound()).peak_celsius
+        peak_idle = solve(idle()).peak_celsius
+        assert peak_full > peak_memory > peak_idle
+
+    def test_half_dark_cools_gated_side(self, solve, floorplan):
+        from repro.thermal.analysis import block_temperatures
+
+        workload = half_dark()
+        solution = solve(workload)
+        stats = {s.block.name: s for s in block_temperatures(solution, floorplan)}
+        gated = [n for n, f in workload.block_overrides.items() if f < 0.1][0]
+        active = [
+            b.name for b in floorplan.blocks_of_kind(BlockKind.CORE)
+            if b.name not in workload.block_overrides
+        ][0]
+        assert stats[gated].mean_c < stats[active].mean_c - 2.0
+
+    def test_memory_bound_still_cool(self, solve):
+        """The paper's microserver argument: memory-bound operation under
+        fluidic cooling leaves enormous thermal headroom."""
+        assert solve(memory_bound()).peak_celsius < 36.0

@@ -1,0 +1,86 @@
+"""Shared fixtures.
+
+Expensive objects (solved thermal models, polarization curves, PDN
+solutions) are session-scoped: they are deterministic pure functions of the
+calibrated configuration, so sharing them across tests only saves time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.casestudy.power7plus import (
+    Power7CaseStudy,
+    build_array,
+    build_array_cell,
+    build_array_spec,
+    build_thermal_model,
+)
+from repro.casestudy.validation_cell import (
+    build_validation_cell,
+    build_validation_spec,
+)
+from repro.geometry.power7 import build_power7_floorplan
+from repro.pdn.power7_pdn import solve_cache_pdn
+
+
+@pytest.fixture(scope="session")
+def floorplan():
+    """The POWER7+ floorplan."""
+    return build_power7_floorplan()
+
+
+@pytest.fixture(scope="session")
+def validation_cell_60():
+    """Planar validation cell at 60 uL/min (mid flow rate)."""
+    return build_validation_cell(60.0)
+
+
+@pytest.fixture(scope="session")
+def validation_spec_60():
+    """Spec of the validation cell at 60 uL/min."""
+    return build_validation_spec(60.0)
+
+
+@pytest.fixture(scope="session")
+def array_spec():
+    """Per-channel spec of the Table II array."""
+    return build_array_spec()
+
+
+@pytest.fixture(scope="session")
+def array_cell():
+    """One Table II array channel (porous model)."""
+    return build_array_cell()
+
+
+@pytest.fixture(scope="session")
+def array_88():
+    """The full 88-channel array model (Fig. 7)."""
+    return build_array()
+
+
+@pytest.fixture(scope="session")
+def thermal_solution():
+    """Solved full-load thermal model at the nominal coolant point."""
+    model = build_thermal_model()
+    return model.solve_steady()
+
+
+@pytest.fixture(scope="session")
+def thermal_model_nominal():
+    """The full-load thermal model (unsolved, for assembly queries)."""
+    return build_thermal_model()
+
+
+@pytest.fixture(scope="session")
+def pdn_result(floorplan):
+    """Solved cache PDN (Fig. 8)."""
+    return solve_cache_pdn(floorplan)
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """Full case-study bundle."""
+    return Power7CaseStudy()

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("summary", "fig3", "fig7", "fig8", "fig9", "cosim"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_fig3_runs_and_prints(self, capsys):
+        assert main(["fig3"]) == 0
+        output = capsys.readouterr().out
+        assert "OCV" in output
+        assert "2.5" in output
+
+    def test_fig7_prints_anchor(self, capsys):
+        assert main(["fig7"]) == 0
+        output = capsys.readouterr().out
+        assert "paper: 6 A" in output
+        assert "1.648" in output
+
+    def test_fig8_prints_window(self, capsys):
+        assert main(["fig8"]) == 0
+        output = capsys.readouterr().out
+        assert "voltage window" in output
+
+    def test_fig9_prints_peak(self, capsys):
+        assert main(["fig9"]) == 0
+        output = capsys.readouterr().out
+        assert "paper: 41 C" in output
+
+    def test_summary_prints_anchor_table(self, capsys):
+        assert main(["summary"]) == 0
+        output = capsys.readouterr().out
+        assert "bright-silicon utilization" in output
+        assert "pumping power [W]" in output

@@ -1,0 +1,62 @@
+"""Tests for ASCII report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import ascii_heatmap, format_table
+from repro.errors import ConfigurationError
+
+
+class TestAsciiHeatmap:
+    def test_shape(self):
+        field = np.linspace(0, 1, 12).reshape(3, 4)
+        text = ascii_heatmap(field)
+        lines = text.split("\n")
+        assert len(lines) == 3
+        assert all(len(line) == 4 for line in lines)
+
+    def test_extremes_use_ramp_ends(self):
+        field = np.array([[0.0, 1.0]])
+        text = ascii_heatmap(field, ramp=" @", flip_vertical=False)
+        assert text == " @"
+
+    def test_nan_renders_as_space(self):
+        field = np.array([[np.nan, 1.0], [0.0, 0.5]])
+        text = ascii_heatmap(field, flip_vertical=False)
+        assert text.split("\n")[0][0] == " "
+
+    def test_vertical_flip(self):
+        field = np.array([[0.0, 0.0], [1.0, 1.0]])
+        flipped = ascii_heatmap(field, ramp=" @")
+        assert flipped.split("\n")[0] == "@@"
+
+    def test_explicit_range_clips(self):
+        field = np.array([[0.0, 10.0]])
+        text = ascii_heatmap(field, ramp=" x@", vmin=0.0, vmax=1.0,
+                             flip_vertical=False)
+        assert text == " @"
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ConfigurationError):
+            ascii_heatmap(np.full((2, 2), np.nan))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            ascii_heatmap(np.zeros(5))
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_float_precision(self):
+        text = format_table(["x"], [[3.14159265]], precision=3)
+        assert "3.14" in text and "3.1416" not in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only one"]])

@@ -1,0 +1,82 @@
+"""Tests for the Section IV roadmap quantification."""
+
+import numpy as np
+import pytest
+
+from repro.core.roadmap import (
+    SupplyGap,
+    feasibility_matrix,
+    minimum_cell_improvement,
+    power7_supply_gap,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSupplyGap:
+    def test_gap_factor(self):
+        gap = SupplyGap(chip_power_w=150.0, array_power_w=6.0)
+        assert gap.gap_factor == pytest.approx(25.0)
+
+    def test_closed_by_product_of_factors(self):
+        gap = SupplyGap(chip_power_w=150.0, array_power_w=6.0)
+        assert gap.is_closed_by(5.0, 5.0)
+        assert not gap.is_closed_by(5.0, 4.0)
+
+    def test_rejects_sub_unity_factors(self):
+        gap = SupplyGap(150.0, 6.0)
+        with pytest.raises(ConfigurationError):
+            gap.is_closed_by(0.5, 2.0)
+
+    def test_rejects_nonpositive_powers(self):
+        with pytest.raises(ConfigurationError):
+            SupplyGap(0.0, 6.0)
+
+
+class TestFeasibilityMatrix:
+    def test_monotone_in_both_axes(self):
+        gap = SupplyGap(150.0, 6.0)
+        matrix, cells, chips = feasibility_matrix(gap)
+        # Once feasible, more improvement stays feasible.
+        for j in range(matrix.shape[1]):
+            column = matrix[:, j]
+            assert np.all(column[np.argmax(column):]) or not column.any()
+        for i in range(matrix.shape[0]):
+            row = matrix[i, :]
+            assert np.all(row[np.argmax(row):]) or not row.any()
+
+    def test_corner_cases(self):
+        gap = SupplyGap(150.0, 6.0)
+        matrix, cells, chips = feasibility_matrix(
+            gap, cell_improvements=(1.0, 30.0), chip_reductions=(1.0, 5.0)
+        )
+        assert not matrix[0, 0]   # status quo cannot power the chip
+        assert matrix[1, 1]       # 150x combined obviously can
+
+    def test_minimum_improvement_inverse(self):
+        gap = SupplyGap(150.0, 6.0)
+        needed = minimum_cell_improvement(gap, chip_reduction=5.0)
+        assert needed == pytest.approx(5.0)
+        assert gap.is_closed_by(needed, 5.0)
+
+    def test_minimum_improvement_floors_at_one(self):
+        gap = SupplyGap(10.0, 6.0)
+        assert minimum_cell_improvement(gap, chip_reduction=10.0) == 1.0
+
+
+class TestPower7Gap:
+    def test_case_study_gap_scale(self, array_88):
+        """Full-chip supply is ~25x away at the 1 V tap — the quantified
+        version of the paper's 'state-of-the-art is yet not capable'."""
+        gap = power7_supply_gap()
+        assert 20.0 < gap.gap_factor < 32.0
+
+    def test_status_quo_infeasible(self):
+        gap = power7_supply_gap()
+        assert not gap.is_closed_by(1.0, 1.0)
+
+    def test_paper_two_pronged_example(self):
+        """A 10x electrochemical improvement with a 3x architectural
+        reduction closes the gap — the scale of effort Section IV calls
+        for."""
+        gap = power7_supply_gap()
+        assert gap.is_closed_by(10.0, 3.0)

@@ -1,0 +1,71 @@
+"""Tests for the transient co-simulation."""
+
+import pytest
+
+from repro.cosim import CosimConfig
+from repro.cosim.transient import TransientCosim, TransientSample
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def cosim():
+    return TransientCosim(CosimConfig(nx=22, ny=11, n_channel_groups=11,
+                                      n_curve_points=30))
+
+
+@pytest.fixture(scope="module")
+def step_up(cosim):
+    """Idle -> full-load step, half a second."""
+    return cosim.run_step_response(0.1, 1.0, duration_s=0.5, dt_s=0.05)
+
+
+class TestStepResponse:
+    def test_temperature_rises_monotonically(self, step_up):
+        peaks = [s.peak_temperature_c for s in step_up]
+        assert all(a <= b + 1e-6 for a, b in zip(peaks, peaks[1:]))
+
+    def test_starts_at_low_power_steady_state(self, step_up):
+        assert step_up[0].peak_temperature_c < 30.0
+
+    def test_approaches_full_load_steady_state(self, cosim, step_up):
+        from repro.casestudy.power7plus import build_thermal_model
+
+        steady = build_thermal_model(
+            nx=22, ny=11
+        ).solve_steady().peak_celsius
+        assert step_up[-1].peak_temperature_c == pytest.approx(steady, abs=1.0)
+
+    def test_generation_follows_temperature(self, step_up):
+        """Warming coolant lifts the generated current along the way."""
+        assert step_up[-1].array_current_a > step_up[0].array_current_a
+
+    def test_current_stays_in_feasible_band(self, step_up):
+        for sample in step_up:
+            assert 4.0 < sample.array_current_a < 8.0
+
+    def test_step_down_cools(self, cosim):
+        samples = cosim.run_step_response(1.0, 0.1, duration_s=0.3, dt_s=0.05)
+        assert samples[-1].peak_temperature_c < samples[0].peak_temperature_c
+
+    def test_rejects_bad_timing(self, cosim):
+        with pytest.raises(ConfigurationError):
+            cosim.run_step_response(0.1, 1.0, duration_s=0.1, dt_s=0.2)
+
+
+class TestSettlingTime:
+    def test_millisecond_scale(self, cosim, step_up):
+        """The thermal time constant is O(100 ms) — fast enough for DVFS
+        policies to treat the coolant as quasi-static."""
+        settle = cosim.settling_time_s(step_up, 0.9)
+        assert 0.02 < settle < 0.5
+
+    def test_flat_trajectory_settles_immediately(self, cosim):
+        flat = [
+            TransientSample(0.0, 40.0, 30.0, 6.0),
+            TransientSample(0.1, 40.0, 30.0, 6.0),
+        ]
+        assert cosim.settling_time_s(flat) == 0.0
+
+    def test_rejects_bad_fraction(self, cosim, step_up):
+        with pytest.raises(ConfigurationError):
+            cosim.settling_time_s(step_up, 1.5)

@@ -1,0 +1,114 @@
+"""Tests for the film-model half-cell."""
+
+import pytest
+
+from repro.constants import FARADAY
+from repro.errors import ConfigurationError, OperatingPointError
+from repro.electrochem.halfcell import FilmHalfCell
+from repro.materials.species import RedoxCouple, vanadium_negative_couple
+
+
+@pytest.fixture
+def half():
+    return FilmHalfCell(
+        couple=vanadium_negative_couple(),
+        conc_ox=80.0,
+        conc_red=920.0,
+        mass_transfer_coefficient=3.3e-6,
+    )
+
+
+class TestLimits:
+    def test_anodic_limit(self, half):
+        assert half.anodic_limit_a_m2 == pytest.approx(FARADAY * 3.3e-6 * 920.0)
+
+    def test_cathodic_limit(self, half):
+        assert half.cathodic_limit_a_m2 == pytest.approx(FARADAY * 3.3e-6 * 80.0)
+
+    def test_feasibility(self, half):
+        assert half.feasible(0.9 * half.anodic_limit_a_m2)
+        assert not half.feasible(1.1 * half.anodic_limit_a_m2)
+        assert half.feasible(-0.9 * half.cathodic_limit_a_m2)
+        assert not half.feasible(-1.1 * half.cathodic_limit_a_m2)
+
+
+class TestOverpotential:
+    def test_zero_current(self, half):
+        assert half.overpotential(0.0) == 0.0
+
+    def test_monotone_increasing(self, half):
+        js = [0.01, 0.1, 0.5, 0.9]
+        etas = [half.overpotential(f * half.anodic_limit_a_m2) for f in js]
+        assert all(a < b for a, b in zip(etas, etas[1:]))
+
+    def test_diverges_near_limit(self, half):
+        eta_half = half.overpotential(0.5 * half.anodic_limit_a_m2)
+        eta_close = half.overpotential(0.999 * half.anodic_limit_a_m2)
+        assert eta_close > eta_half + 0.1
+
+    def test_beyond_limit_raises(self, half):
+        with pytest.raises(OperatingPointError):
+            half.overpotential(1.01 * half.anodic_limit_a_m2)
+
+    def test_exceeds_activation_only(self, half):
+        """Total overpotential >= pure charge-transfer share (eta_mt >= 0)."""
+        j = 0.7 * half.anodic_limit_a_m2
+        assert half.overpotential(j) > half.activation_only_overpotential(j)
+
+    def test_electrode_potential_offsets_equilibrium(self, half):
+        j = 0.3 * half.anodic_limit_a_m2
+        assert half.electrode_potential(j) == pytest.approx(
+            half.equilibrium_potential_v + half.overpotential(j)
+        )
+
+
+class TestClosedFormInverse:
+    def test_roundtrip_with_overpotential(self, half):
+        """current_at_overpotential must invert overpotential exactly."""
+        for fraction in (0.05, 0.3, 0.7, 0.95, -0.3, -0.8):
+            limit = half.anodic_limit_a_m2 if fraction > 0 else half.cathodic_limit_a_m2
+            j_target = fraction * limit
+            eta = half.overpotential(j_target)
+            assert half.current_at_overpotential(eta) == pytest.approx(
+                j_target, rel=1e-9
+            )
+
+    def test_roundtrip_general_alpha(self):
+        couple = RedoxCouple("asym", -0.255, 1, 0.25, 2e-5, 1.7e-10)
+        half = FilmHalfCell(couple, 80.0, 920.0, 3.3e-6)
+        for fraction in (0.2, 0.6, -0.5):
+            limit = half.anodic_limit_a_m2 if fraction > 0 else half.cathodic_limit_a_m2
+            j_target = fraction * limit
+            eta = half.overpotential(j_target)
+            assert half.current_at_overpotential(eta) == pytest.approx(
+                j_target, rel=1e-9
+            )
+
+    def test_saturates_at_transport_limits(self, half):
+        assert half.current_at_overpotential(5.0) == pytest.approx(
+            half.anodic_limit_a_m2, rel=1e-6
+        )
+        assert half.current_at_overpotential(-5.0) == pytest.approx(
+            -half.cathodic_limit_a_m2, rel=1e-6
+        )
+
+    def test_zero_at_equilibrium(self, half):
+        assert half.current_at_overpotential(0.0) == 0.0
+        assert half.current_at_potential(half.equilibrium_potential_v) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_current_at_potential_sign(self, half):
+        e_eq = half.equilibrium_potential_v
+        assert half.current_at_potential(e_eq + 0.1) > 0.0
+        assert half.current_at_potential(e_eq - 0.1) < 0.0
+
+
+class TestValidation:
+    def test_rejects_zero_km(self):
+        with pytest.raises(ConfigurationError):
+            FilmHalfCell(vanadium_negative_couple(), 80.0, 920.0, 0.0)
+
+    def test_rejects_negative_concentration(self):
+        with pytest.raises(ConfigurationError):
+            FilmHalfCell(vanadium_negative_couple(), -1.0, 920.0, 1e-6)

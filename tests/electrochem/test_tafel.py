@@ -1,0 +1,99 @@
+"""Tests for Tafel analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.constants import FARADAY, GAS_CONSTANT
+from repro.electrochem.butler_volmer import current_density
+from repro.electrochem.tafel import TafelFit, fit_tafel, theoretical_tafel_slope
+from repro.errors import ConfigurationError
+from repro.materials.species import RedoxCouple, vanadium_negative_couple
+
+
+class TestTheoreticalSlope:
+    def test_symmetric_couple_at_300k(self):
+        import math
+
+        couple = vanadium_negative_couple()  # alpha = 0.5
+        slope = theoretical_tafel_slope(couple, "anodic", 300.0)
+        expected = math.log(10.0) * GAS_CONSTANT * 300.0 / (0.5 * FARADAY)
+        assert slope == pytest.approx(expected, rel=1e-9)
+        assert slope == pytest.approx(0.119, abs=0.002)  # the textbook 120 mV/dec
+
+    def test_asymmetric_branches_differ(self):
+        couple = RedoxCouple("asym", 0.0, 1, 0.25, 1e-5, 1e-10)
+        anodic = theoretical_tafel_slope(couple, "anodic")
+        cathodic = theoretical_tafel_slope(couple, "cathodic")
+        assert cathodic == pytest.approx(3.0 * anodic, rel=1e-9)
+
+    def test_case_study_alpha_gives_literature_slope(self):
+        """alpha = 0.25 -> cathodic slope ~238 mV/dec, inside the 120-240
+        band reported for vanadium on carbon — the calibration's basis."""
+        couple = RedoxCouple("v", 1.0, 1, 0.25, 4.67e-5, 1.26e-10)
+        slope = theoretical_tafel_slope(couple, "cathodic", 300.0)
+        assert 0.20 < slope < 0.26
+
+    def test_rejects_bad_branch(self):
+        with pytest.raises(ConfigurationError):
+            theoretical_tafel_slope(vanadium_negative_couple(), "sideways")
+
+
+class TestFit:
+    @staticmethod
+    def synthetic_branch(couple, etas):
+        return np.array([
+            current_density(couple, eta, 500.0, 500.0) for eta in etas
+        ])
+
+    def test_recovers_theoretical_slope(self):
+        couple = vanadium_negative_couple()
+        etas = np.linspace(0.15, 0.40, 12)
+        currents = self.synthetic_branch(couple, etas)
+        fit = fit_tafel(etas, currents)
+        assert fit.slope_v_per_decade == pytest.approx(
+            theoretical_tafel_slope(couple, "anodic"), rel=0.02
+        )
+        assert fit.r_squared > 0.999
+
+    def test_recovers_exchange_current(self):
+        from repro.electrochem.butler_volmer import exchange_current_density
+
+        couple = vanadium_negative_couple()
+        etas = np.linspace(0.2, 0.45, 10)
+        fit = fit_tafel(etas, self.synthetic_branch(couple, etas))
+        j0 = exchange_current_density(couple, 500.0, 500.0)
+        assert fit.exchange_current_density_a_m2 == pytest.approx(j0, rel=0.1)
+
+    def test_apparent_alpha_roundtrip(self):
+        couple = RedoxCouple("a", 0.0, 1, 0.3, 1e-5, 1e-10)
+        etas = np.linspace(0.2, 0.5, 15)
+        fit = fit_tafel(etas, self.synthetic_branch(couple, etas))
+        assert fit.apparent_transfer_coefficient("anodic") == pytest.approx(
+            0.3, abs=0.03
+        )
+
+    def test_cathodic_branch_fits_too(self):
+        couple = vanadium_negative_couple()
+        etas = -np.linspace(0.15, 0.40, 12)
+        fit = fit_tafel(etas, self.synthetic_branch(couple, etas))
+        assert fit.slope_v_per_decade == pytest.approx(
+            theoretical_tafel_slope(couple, "cathodic"), rel=0.02
+        )
+
+    def test_rejects_mixed_signs(self):
+        with pytest.raises(ConfigurationError):
+            fit_tafel(np.array([0.1, 0.2, 0.3]), np.array([1.0, -1.0, 2.0]))
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_tafel(np.array([0.1, 0.2]), np.array([1.0, 2.0]))
+
+    def test_low_overpotential_points_excluded(self):
+        """Points inside the reverse-reaction zone must not skew the fit."""
+        couple = vanadium_negative_couple()
+        etas = np.concatenate([np.linspace(0.005, 0.04, 5),
+                               np.linspace(0.2, 0.45, 10)])
+        fit = fit_tafel(etas, self.synthetic_branch(couple, etas))
+        assert fit.slope_v_per_decade == pytest.approx(
+            theoretical_tafel_slope(couple, "anodic"), rel=0.02
+        )

@@ -1,0 +1,42 @@
+"""Tests for crossover quantification in the FV solver."""
+
+import pytest
+
+from repro.casestudy.validation_cell import build_validation_spec
+from repro.flowcell.fvm import FiniteVolumeColaminarCell
+
+
+def make_cell(flow_ul_min, ny=64):
+    return FiniteVolumeColaminarCell(
+        build_validation_spec(flow_ul_min), nx=60, ny=ny
+    )
+
+
+class TestCrossover:
+    def test_crossover_positive(self):
+        cell = make_cell(60.0)
+        assert cell.crossover_rate_mol_s(anodic=True) > 0.0
+
+    def test_fraction_small_at_design_flow(self):
+        """The membraneless premise: only a small share of the reactant
+        diffuses across at the experimental flow rates."""
+        cell = make_cell(60.0)
+        assert cell.crossover_fraction(anodic=True) < 0.10
+
+    def test_fraction_grows_at_low_flow(self):
+        fast = make_cell(300.0)
+        slow = make_cell(2.5)
+        assert slow.crossover_fraction() > 2.0 * fast.crossover_fraction()
+
+    def test_fraction_bounded(self):
+        for flow in (2.5, 60.0, 300.0):
+            fraction = make_cell(flow).crossover_fraction()
+            assert 0.0 < fraction < 0.5
+
+    def test_both_streams_symmetric_order(self):
+        """Fuel and oxidant crossover fractions share the same scale (the
+        couples' diffusivities differ by ~30 %)."""
+        cell = make_cell(60.0)
+        fuel = cell.crossover_fraction(anodic=True)
+        oxidant = cell.crossover_fraction(anodic=False)
+        assert 0.3 < fuel / oxidant < 3.0

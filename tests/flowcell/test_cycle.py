@@ -1,0 +1,110 @@
+"""Tests for charge operation and round-trip efficiency."""
+
+import numpy as np
+import pytest
+
+from repro.casestudy.power7plus import build_array_cell
+from repro.errors import ConfigurationError
+from repro.flowcell.cycle import charging_curve, mid_soc_cell, voltage_efficiency
+
+
+@pytest.fixture(scope="module")
+def full_cell():
+    """Table II composition: ~fully charged."""
+    return build_array_cell(n_segments=25)
+
+
+@pytest.fixture(scope="module")
+def half_cell(full_cell):
+    """The same cell at 50 % state of charge (cycle operating point)."""
+    return mid_soc_cell(full_cell, 0.5)
+
+
+class TestMidSocCell:
+    def test_concentrations_split(self, half_cell):
+        assert half_cell.spec.anolyte.conc_red == pytest.approx(
+            half_cell.spec.anolyte.conc_ox
+        )
+
+    def test_ocv_drops_from_full(self, full_cell, half_cell):
+        # 50 % SOC removes the Nernst boost of the 2000:1 ratios:
+        # OCV falls from 1.648 toward the 1.255 standard value.
+        assert half_cell.open_circuit_voltage_v < full_cell.open_circuit_voltage_v - 0.3
+        assert half_cell.open_circuit_voltage_v == pytest.approx(1.255, abs=0.01)
+
+    def test_rejects_bad_soc(self, full_cell):
+        with pytest.raises(ConfigurationError):
+            mid_soc_cell(full_cell, 1.0)
+
+
+class TestChargingCurve:
+    def test_starts_at_ocv(self, half_cell):
+        currents, voltages = charging_curve(half_cell, n_points=20)
+        assert currents[0] == 0.0
+        assert voltages[0] == pytest.approx(
+            half_cell.open_circuit_voltage_v, abs=1e-6
+        )
+
+    def test_voltage_rises_with_current(self, half_cell):
+        _, voltages = charging_curve(half_cell, n_points=20)
+        assert np.all(np.diff(voltages) > 0.0)
+
+    def test_charging_voltage_above_ocv(self, half_cell):
+        _, voltages = charging_curve(half_cell, n_points=20)
+        assert np.all(voltages[1:] > half_cell.open_circuit_voltage_v)
+
+    def test_full_cell_accepts_almost_no_charge(self, full_cell, half_cell):
+        """Physics check: a ~fully charged battery is transport-starved in
+        the charge direction (only 1 mol/m^3 of discharged species)."""
+        full_currents, _ = charging_curve(full_cell, n_points=10)
+        half_currents, _ = charging_curve(half_cell, n_points=10)
+        assert full_currents[-1] < 0.01 * half_currents[-1]
+
+    def test_mirror_of_discharge_scale(self, half_cell):
+        """At the same current the charging climb is comparable to the
+        discharge drop — the same loss physics reversed."""
+        discharge = half_cell.polarization_curve(
+            n_points=40, max_overpotential_v=1.2
+        )
+        per_channel = 0.5 * discharge.max_current_a
+        v_d = discharge.voltage_at_current(per_channel)
+        currents, voltages = charging_curve(half_cell, n_points=40)
+        v_c = float(np.interp(per_channel, currents, voltages))
+        drop = half_cell.open_circuit_voltage_v - v_d
+        climb = v_c - half_cell.open_circuit_voltage_v
+        assert climb == pytest.approx(drop, rel=0.6)
+
+    def test_rejects_bad_points(self, half_cell):
+        with pytest.raises(ConfigurationError):
+            charging_curve(half_cell, n_points=1)
+
+
+class TestRoundTrip:
+    def test_efficiency_in_unit_interval(self, half_cell):
+        eta = voltage_efficiency(half_cell, 6.0 / 88.0)
+        assert 0.0 < eta < 1.0
+
+    def test_vanadium_micro_cell_scale(self, half_cell):
+        """At the paper's 6 A operating point and 50 % SOC the round trip
+        lands near 80 % — flow-battery-typical, because the balanced
+        mid-SOC composition lifts the exchange current that the 2000:1
+        charged state starves."""
+        eta = voltage_efficiency(half_cell, 6.0 / 88.0)
+        assert 0.6 < eta < 0.9
+
+    def test_efficiency_falls_with_current(self, half_cell):
+        low = voltage_efficiency(half_cell, 0.5 / 88.0)
+        high = voltage_efficiency(half_cell, 10.0 / 88.0)
+        assert low > high
+
+    def test_small_current_approaches_unity(self, half_cell):
+        eta = voltage_efficiency(half_cell, 0.01 / 88.0)
+        assert eta > 0.8
+
+    def test_rejects_nonpositive_current(self, half_cell):
+        with pytest.raises(ConfigurationError):
+            voltage_efficiency(half_cell, 0.0)
+
+    def test_rejects_out_of_range_current(self, half_cell):
+        with pytest.raises(ConfigurationError):
+            voltage_efficiency(half_cell, 10.0)

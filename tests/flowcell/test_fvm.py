@@ -1,0 +1,118 @@
+"""Tests for the quasi-2D finite-volume cell solver."""
+
+import numpy as np
+import pytest
+
+from repro.casestudy.validation_cell import build_validation_spec
+from repro.constants import FARADAY
+from repro.errors import ConfigurationError
+from repro.flowcell.fvm import FiniteVolumeColaminarCell
+from repro.flowcell.planar import PlanarColaminarCell
+
+
+@pytest.fixture(scope="module")
+def fv_cell():
+    """Coarse-grid FV model of the validation cell at 60 uL/min."""
+    return FiniteVolumeColaminarCell(build_validation_spec(60.0), nx=60, ny=32)
+
+
+class TestConstruction:
+    def test_rejects_odd_ny(self):
+        with pytest.raises(ConfigurationError):
+            FiniteVolumeColaminarCell(build_validation_spec(60.0), nx=40, ny=31)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ConfigurationError):
+            FiniteVolumeColaminarCell(build_validation_spec(60.0), nx=2, ny=32)
+
+
+class TestSpeciesConservation:
+    def test_open_circuit_conserves_mass(self, fv_cell):
+        """At the equilibrium potential no net reaction occurs, so the
+        flow-weighted species flux at the outlet equals the inlet flux."""
+        from repro.electrochem.nernst import equilibrium_potential
+
+        anolyte = fv_cell.spec.anolyte
+        e_eq = equilibrium_potential(
+            anolyte.couple, anolyte.conc_ox, anolyte.conc_red, 300.0
+        )
+        result = fv_cell.march_electrode(e_eq, anodic=True)
+        assert abs(result.electrode_current_a) < 1e-10
+        u = fv_cell.velocity
+        inlet_flux = anolyte.conc_red * u[: fv_cell.ny // 2].sum()
+        outlet_flux = float((result.conc_red[-1] * u).sum())
+        assert outlet_flux == pytest.approx(inlet_flux, rel=1e-9)
+
+    def test_reacted_moles_match_current(self, fv_cell):
+        """Faraday's law: electrode current = n*F * reactant depletion rate."""
+        result = fv_cell.march_electrode(0.2, anodic=True)
+        u = fv_cell.velocity
+        depth = fv_cell.spec.channel.height_m
+        dy = fv_cell.dy
+        anolyte = fv_cell.spec.anolyte
+        inlet_rate = anolyte.conc_red * float(u[: fv_cell.ny // 2].sum()) * dy * depth
+        outlet_rate = float((result.conc_red[-1] * u).sum()) * dy * depth
+        reacted = inlet_rate - outlet_rate
+        assert result.electrode_current_a == pytest.approx(
+            FARADAY * reacted, rel=1e-6
+        )
+
+    def test_concentrations_stay_nonnegative(self, fv_cell):
+        result = fv_cell.march_electrode(0.5, anodic=True)
+        assert result.conc_red.min() >= 0.0
+        assert result.conc_ox.min() >= 0.0
+
+
+class TestWallCurrent:
+    def test_leveque_decay_along_electrode(self, fv_cell):
+        """In the transport-limited regime the local current falls
+        downstream as the boundary layer thickens (x^(-1/3) trend)."""
+        result = fv_cell.march_electrode(0.5, anodic=True)
+        j = result.wall_current_density_a_m2
+        assert j[5] > j[20] > j[-1] > 0.0
+
+    def test_cathodic_march_sign(self, fv_cell):
+        result = fv_cell.march_electrode(0.4, anodic=False)
+        assert result.electrode_current_a < 0.0
+
+
+class TestAgreementWithPlanarModel:
+    def test_limiting_current_within_20_percent(self):
+        """The FV solver and the analytic Leveque model must agree on the
+        transport-limited current (they share no code path for it)."""
+        spec = build_validation_spec(60.0)
+        planar = PlanarColaminarCell(spec)
+        fv = FiniteVolumeColaminarCell(spec, nx=100, ny=48)
+        # Deep anodic sweep: transport-limited electrode current.
+        char = fv.electrode_characteristic(anodic=False, n_samples=10,
+                                           max_overpotential_v=0.9)
+        i_lim_fv = -char.min_current_a
+        i_lim_planar = (
+            planar.positive.cathodic_limit_a_m2 * planar.electrode_area_m2
+        )
+        assert i_lim_fv == pytest.approx(i_lim_planar, rel=0.2)
+
+    def test_polarization_close_to_planar(self):
+        spec = build_validation_spec(60.0)
+        planar_curve = PlanarColaminarCell(spec).polarization_curve(30)
+        fv_curve = FiniteVolumeColaminarCell(spec, nx=60, ny=32).polarization_curve(
+            n_points=20, n_potential_samples=14
+        )
+        i_probe = 0.4 * min(planar_curve.max_current_a, fv_curve.max_current_a)
+        v_planar = planar_curve.voltage_at_current(i_probe)
+        v_fv = fv_curve.voltage_at_current(i_probe)
+        assert v_fv == pytest.approx(v_planar, abs=0.08)
+
+
+class TestMixingZone:
+    def test_mixing_zone_thin_at_high_flow(self):
+        """The membraneless premise: the interface blur stays well below
+        the stream half-width at the experimental flow rates."""
+        cell = FiniteVolumeColaminarCell(build_validation_spec(300.0), nx=60, ny=64)
+        width = cell.mixing_zone_width(anodic=True)
+        assert width < cell.spec.channel.half_width_m
+
+    def test_mixing_zone_grows_at_low_flow(self):
+        fast = FiniteVolumeColaminarCell(build_validation_spec(300.0), nx=60, ny=64)
+        slow = FiniteVolumeColaminarCell(build_validation_spec(2.5), nx=60, ny=64)
+        assert slow.mixing_zone_width() > fast.mixing_zone_width()

@@ -1,0 +1,103 @@
+"""Tests for the planar (film/Leveque) co-laminar cell."""
+
+import numpy as np
+import pytest
+
+from repro.casestudy.validation_cell import build_validation_cell
+from repro.errors import ConfigurationError, OperatingPointError
+from repro.units import ma_cm2_from_a_m2
+
+
+class TestScalarCharacteristics:
+    def test_ocv_includes_calibration(self, validation_cell_60):
+        # Nernst 1.434 V with the -0.13 V mixed-potential adjustment.
+        assert validation_cell_60.open_circuit_voltage_v == pytest.approx(1.30, abs=0.01)
+
+    def test_limiting_current_magnitude(self, validation_cell_60):
+        j_lim = ma_cm2_from_a_m2(validation_cell_60.limiting_current_density_a_m2)
+        assert j_lim == pytest.approx(31.6, rel=0.05)
+
+    def test_cathode_is_limiting_electrode(self, validation_cell_60):
+        # The oxidant side has the smaller D and C, so it limits.
+        assert (
+            validation_cell_60.positive.cathodic_limit_a_m2
+            < validation_cell_60.negative.anodic_limit_a_m2
+        )
+
+    def test_flow_rate_cube_root_scaling(self):
+        """The Fig. 3 signature: j_lim(300) / j_lim(2.5) = (120)^(1/3)."""
+        low = build_validation_cell(2.5).limiting_current_density_a_m2
+        high = build_validation_cell(300.0).limiting_current_density_a_m2
+        assert high / low == pytest.approx(120.0 ** (1.0 / 3.0), rel=1e-6)
+
+
+class TestOperatingPoints:
+    def test_voltage_at_zero_current_is_ocv(self, validation_cell_60):
+        assert validation_cell_60.voltage_at_current(0.0) == pytest.approx(
+            validation_cell_60.open_circuit_voltage_v
+        )
+
+    def test_voltage_decreases_with_current(self, validation_cell_60):
+        i_lim = validation_cell_60.limiting_current_a
+        voltages = [
+            validation_cell_60.voltage_at_current(f * i_lim)
+            for f in (0.0, 0.2, 0.5, 0.8, 0.95)
+        ]
+        assert all(a > b for a, b in zip(voltages, voltages[1:]))
+
+    def test_beyond_limit_raises(self, validation_cell_60):
+        with pytest.raises(OperatingPointError):
+            validation_cell_60.voltage_at_current(1.01 * validation_cell_60.limiting_current_a)
+
+    def test_negative_current_rejected(self, validation_cell_60):
+        with pytest.raises(ConfigurationError):
+            validation_cell_60.voltage_at_current(-1.0)
+
+
+class TestLossBreakdown:
+    def test_all_components_positive(self, validation_cell_60):
+        losses = validation_cell_60.loss_breakdown(0.7 * validation_cell_60.limiting_current_a)
+        for name, value in losses.items():
+            assert value > 0.0, name
+
+    def test_losses_sum_to_voltage_gap(self, validation_cell_60):
+        i = 0.6 * validation_cell_60.limiting_current_a
+        losses = validation_cell_60.loss_breakdown(i)
+        gap = validation_cell_60.open_circuit_voltage_v - validation_cell_60.voltage_at_current(i)
+        assert sum(losses.values()) == pytest.approx(gap, rel=1e-9)
+
+    def test_mass_transport_grows_near_limit(self, validation_cell_60):
+        i_lim = validation_cell_60.limiting_current_a
+        low = validation_cell_60.loss_breakdown(0.2 * i_lim)
+        high = validation_cell_60.loss_breakdown(0.9 * i_lim)
+        assert high["eta_mt_pos"] > 1.5 * low["eta_mt_pos"]
+        assert high["eta_mt_pos"] > 0.1  # the bend into the limit is steep
+
+
+class TestPolarizationCurves:
+    def test_curve_is_monotone(self, validation_cell_60):
+        curve = validation_cell_60.polarization_curve(40)
+        assert np.all(np.diff(curve.voltage_v) <= 1e-12)
+
+    def test_density_and_absolute_consistent(self, validation_cell_60):
+        absolute = validation_cell_60.polarization_curve(30)
+        density = validation_cell_60.polarization_curve_density(30)
+        area = validation_cell_60.electrode_area_m2
+        assert density.current_a[-1] == pytest.approx(absolute.current_a[-1] / area)
+
+    def test_peak_power_density_paper_scale(self):
+        """Kjeang-type cells peak at tens of mW/cm2 at the high flow rates."""
+        cell = build_validation_cell(300.0)
+        curve = cell.polarization_curve_density(60)
+        peak_mw_cm2 = curve.max_power_w / 10.0
+        assert 20.0 < peak_mw_cm2 < 70.0
+
+    def test_higher_temperature_higher_limiting_current(self):
+        """With T-dependent parameters the cell improves when warm."""
+        from repro.casestudy.validation_cell import build_validation_spec
+        from repro.flowcell.planar import PlanarColaminarCell
+
+        spec = build_validation_spec(60.0, temperature_dependent=True)
+        cold = PlanarColaminarCell(spec, temperature_k=300.0)
+        warm = PlanarColaminarCell(spec, temperature_k=320.0)
+        assert warm.limiting_current_a > cold.limiting_current_a

@@ -1,0 +1,129 @@
+"""Tests for electrolyte recirculation and reservoir models."""
+
+import pytest
+
+from repro.casestudy.power7plus import build_array_spec
+from repro.constants import FARADAY
+from repro.errors import ConfigurationError, OperatingPointError
+from repro.flowcell.recirculation import (
+    ElectrolyteReservoir,
+    RecirculationLoop,
+    tank_volume_for_runtime,
+)
+
+
+@pytest.fixture
+def loop():
+    spec = build_array_spec()
+    return RecirculationLoop(
+        ElectrolyteReservoir(spec.anolyte, 1e-3, is_fuel=True),
+        ElectrolyteReservoir(spec.catholyte, 1e-3, is_fuel=False),
+    )
+
+
+class TestReservoir:
+    def test_initial_soc_table2(self):
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, 1e-3, is_fuel=True)
+        # 2000:1 charged composition -> SOC ~ 0.9995.
+        assert tank.state_of_charge == pytest.approx(2000.0 / 2001.0)
+
+    def test_total_charge(self):
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, 1e-3, is_fuel=True)
+        assert tank.total_charge_c == pytest.approx(FARADAY * 2000.0 * 1e-3)
+
+    def test_discharge_conserves_total_vanadium(self):
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, 1e-3, is_fuel=True)
+        total_before = tank.conc_ox + tank.conc_red
+        tank.draw_charge(1e4)
+        assert tank.conc_ox + tank.conc_red == pytest.approx(total_before)
+
+    def test_discharge_moves_soc_down(self):
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, 1e-3, is_fuel=True)
+        soc0 = tank.state_of_charge
+        tank.draw_charge(1e4)
+        assert tank.state_of_charge < soc0
+
+    def test_recharge_moves_soc_up(self):
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, 1e-3, is_fuel=True)
+        tank.draw_charge(5e4)
+        soc_discharged = tank.state_of_charge
+        tank.draw_charge(-3e4)
+        assert tank.state_of_charge > soc_discharged
+
+    def test_over_discharge_raises(self):
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, 1e-6, is_fuel=True)
+        with pytest.raises(OperatingPointError):
+            tank.draw_charge(2.0 * tank.total_charge_c)
+
+    def test_snapshot_matches_state(self):
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, 1e-3, is_fuel=True)
+        tank.draw_charge(1e4)
+        snapshot = tank.current_composition()
+        assert snapshot.conc_red == pytest.approx(tank.conc_red)
+        assert snapshot.couple is spec.anolyte.couple
+
+    def test_rejects_zero_volume(self):
+        spec = build_array_spec()
+        with pytest.raises(ConfigurationError):
+            ElectrolyteReservoir(spec.anolyte, 0.0, is_fuel=True)
+
+
+class TestLoop:
+    def test_tank_roles_enforced(self):
+        spec = build_array_spec()
+        fuel = ElectrolyteReservoir(spec.anolyte, 1e-3, is_fuel=True)
+        with pytest.raises(ConfigurationError):
+            RecirculationLoop(fuel, fuel)
+
+    def test_step_discharges_both_tanks(self, loop):
+        soc0 = loop.state_of_charge
+        loop.step(5.0, 600.0)
+        assert loop.state_of_charge < soc0
+
+    def test_runtime_closed_form_matches_stepping(self, loop):
+        runtime = loop.runtime_to_soc_s(5.0, min_soc=0.5)
+        steps = 20
+        for _ in range(steps):
+            loop.step(5.0, runtime / steps)
+        assert loop.state_of_charge == pytest.approx(0.5, abs=0.01)
+
+    def test_runtime_scales_inversely_with_current(self, loop):
+        t_5a = loop.runtime_to_soc_s(5.0)
+        t_10a = loop.runtime_to_soc_s(10.0)
+        assert t_5a == pytest.approx(2.0 * t_10a, rel=1e-9)
+
+    def test_one_litre_runs_cache_load_for_hours(self, loop):
+        """System-scale sanity: 1 L tanks sustain the 5 A cache load for
+        the better part of a working day."""
+        hours = loop.runtime_to_soc_s(5.0, min_soc=0.2) / 3600.0
+        assert 6.0 < hours < 12.0
+
+
+class TestTankSizing:
+    def test_24h_cache_supply_is_a_few_litres(self):
+        spec = build_array_spec()
+        volume_l = 1e3 * tank_volume_for_runtime(5.0, 86400.0, spec.anolyte, True)
+        assert 2.0 < volume_l < 4.0
+
+    def test_sizing_inverts_runtime(self):
+        spec = build_array_spec()
+        volume = tank_volume_for_runtime(
+            5.0, 3600.0, spec.anolyte, True, usable_soc_window=0.8
+        )
+        tank = ElectrolyteReservoir(spec.anolyte, volume, is_fuel=True)
+        other = ElectrolyteReservoir(spec.catholyte, volume, is_fuel=False)
+        loop = RecirculationLoop(tank, other)
+        runtime = loop.runtime_to_soc_s(5.0, min_soc=tank.state_of_charge - 0.8)
+        assert runtime == pytest.approx(3600.0, rel=0.01)
+
+    def test_rejects_bad_window(self):
+        spec = build_array_spec()
+        with pytest.raises(ConfigurationError):
+            tank_volume_for_runtime(5.0, 3600.0, spec.anolyte, True, 0.0)

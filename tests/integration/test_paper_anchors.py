@@ -1,0 +1,101 @@
+"""End-to-end acceptance tests: every quantitative claim of the paper.
+
+These are the DESIGN.md Section 6 acceptance criteria in executable form;
+each test cites the artifact it reproduces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.electrochem.polarization import PolarizationCurve
+from repro.units import ma_cm2_from_a_m2
+
+
+class TestFig3Validation:
+    @pytest.mark.parametrize("flow", [2.5, 10.0, 60.0, 300.0])
+    def test_model_matches_reference_within_10_percent(self, flow):
+        """Fig. 3: model vs experimental polarization, all flow rates."""
+        from repro.casestudy.validation_cell import build_validation_cell
+        from repro.validation import compare_polarization, reference_curve
+
+        model = build_validation_cell(flow).polarization_curve_density(60)
+        model_ma = PolarizationCurve(ma_cm2_from_a_m2(model.current_a), model.voltage_v)
+        comparison = compare_polarization(model_ma, reference_curve(flow))
+        assert comparison.max_relative_error < 0.10
+
+
+class TestFig7Array:
+    def test_open_circuit_voltage(self, array_88):
+        """Fig. 7 y-intercept: ~1.6 V."""
+        assert 1.55 < array_88.open_circuit_voltage_v < 1.70
+
+    def test_six_amps_at_one_volt(self, array_88):
+        """Fig. 7's marked point: 6 A at a 1 V supply."""
+        assert array_88.current_at_voltage(1.0) == pytest.approx(6.0, abs=0.5)
+
+    def test_current_axis_reach(self, array_88):
+        """Fig. 7 plots the curve out toward 50 A."""
+        assert array_88.max_current_a > 42.0
+
+    def test_power_density_per_electrode_area(self, array_88):
+        """Section II: achievable densities are below ~1 W/cm2 of
+        electrode area; at 1 V the array delivers ~0.78 W/cm2."""
+        electrode_area_cm2 = 88 * 8.8e-6 * 1e4
+        density = array_88.power_at_voltage(1.0) / electrode_area_cm2
+        assert 0.5 < density < 1.0
+
+
+class TestFig8Pdn:
+    def test_cache_demand_current(self, pdn_result):
+        """Section III-A: 5 A at 1 V for the memory domain."""
+        assert pdn_result.supply_current_a == pytest.approx(5.0, rel=1e-6)
+
+    def test_voltage_window(self, pdn_result):
+        """Fig. 8 colour scale: cache nodes between ~0.96 and ~0.995 V."""
+        assert pdn_result.min_voltage_v > 0.955
+        assert pdn_result.max_voltage_v < 1.005
+        assert pdn_result.max_voltage_v > 0.985
+
+    def test_array_supplies_grid_with_margin(self, pdn_result, array_88):
+        assert array_88.current_at_voltage(1.0) > pdn_result.supply_current_a
+
+
+class TestFig9Thermal:
+    def test_peak_41c(self, thermal_solution):
+        """Fig. 9 / Section III-B: 41 C peak at full load, 27 C inlet."""
+        assert thermal_solution.peak_celsius == pytest.approx(41.0, abs=3.0)
+
+    def test_energy_balance(self, thermal_solution):
+        """Coolant enthalpy rise accounts for the whole chip power."""
+        assert abs(thermal_solution.energy_balance_error_w()) < 1e-6
+
+    def test_map_spans_plausible_range(self, thermal_solution):
+        active = thermal_solution.field_celsius("active_si")
+        assert active.min() > 26.0
+        assert active.max() < 45.0
+
+
+class TestS1Hydraulics:
+    def test_mean_velocity(self, case_study):
+        """Section III-B quotes ~1.4 m/s; open-area value is 1.6."""
+        velocity = case_study.array.layout.mean_velocity(676e-6 / 60.0)
+        assert velocity == pytest.approx(1.6, abs=0.25)
+
+    def test_pumping_power_4p4w(self, case_study):
+        assert case_study.pumping_power_w() == pytest.approx(4.4, abs=0.5)
+
+    def test_net_energy_gain(self, case_study, array_88):
+        """The flow cells generate more than the pump consumes."""
+        generated = array_88.power_at_voltage(1.0)
+        assert generated > case_study.pumping_power_w()
+
+
+class TestSystemFacade:
+    def test_full_evaluation_consistent(self, case_study):
+        from repro.core.system import IntegratedPowerCoolingSystem
+
+        system = IntegratedPowerCoolingSystem(case_study=case_study)
+        evaluation = system.evaluate(1.0)
+        assert evaluation.demand_met
+        assert evaluation.bright_utilization == 1.0
+        assert evaluation.energy_balance.is_net_positive

@@ -1,0 +1,79 @@
+"""Tests for temperature-dependence property models."""
+
+import math
+
+import pytest
+
+from repro.constants import GAS_CONSTANT
+from repro.errors import ConfigurationError
+from repro.materials.properties import Arrhenius, Constant, LinearInT, as_model
+
+
+class TestConstant:
+    def test_returns_value_at_any_temperature(self):
+        model = Constant(2.53e-3)
+        assert model(280.0) == 2.53e-3
+        assert model(350.0) == 2.53e-3
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            Constant(1.0)(0.0)
+
+
+class TestLinearInT:
+    def test_value_at_reference(self):
+        model = LinearInT(1260.0, slope_per_k=-4e-4, t_ref_k=300.0)
+        assert model(300.0) == pytest.approx(1260.0)
+
+    def test_slope_sign(self):
+        model = LinearInT(1260.0, slope_per_k=-4e-4, t_ref_k=300.0)
+        assert model(310.0) < 1260.0 < model(290.0)
+
+    def test_slope_magnitude(self):
+        model = LinearInT(100.0, slope_per_k=0.01, t_ref_k=300.0)
+        assert model(310.0) == pytest.approx(110.0)
+
+
+class TestArrhenius:
+    def test_value_at_reference(self):
+        model = Arrhenius(5.33e-5, 15e3, t_ref_k=300.0)
+        assert model(300.0) == pytest.approx(5.33e-5)
+
+    def test_increases_with_temperature(self):
+        model = Arrhenius(1.0, 20e3, t_ref_k=300.0)
+        assert model(310.0) > 1.0 > model(290.0)
+
+    def test_decreasing_variant(self):
+        viscosity = Arrhenius(2.53e-3, 16e3, t_ref_k=300.0, increases_with_t=False)
+        assert viscosity(320.0) < 2.53e-3 < viscosity(280.0)
+
+    def test_matches_analytic_form(self):
+        ea = 20e3
+        model = Arrhenius(1.0, ea, t_ref_k=300.0)
+        expected = math.exp(-(ea / GAS_CONSTANT) * (1.0 / 310.0 - 1.0 / 300.0))
+        assert model(310.0) == pytest.approx(expected)
+
+    def test_sensitivity_scale(self):
+        # Ea = 20 kJ/mol gives ~2.7 %/K near 300 K (Ea/RT^2).
+        model = Arrhenius(1.0, 20e3, t_ref_k=300.0)
+        slope = (model(301.0) - model(300.0)) / model(300.0)
+        assert slope == pytest.approx(20e3 / (GAS_CONSTANT * 300.0**2), rel=0.02)
+
+    def test_negative_activation_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Arrhenius(1.0, -5e3)
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Arrhenius(1.0, 5e3, t_ref_k=0.0)
+
+
+class TestAsModel:
+    def test_wraps_floats(self):
+        model = as_model(3.0)
+        assert isinstance(model, Constant)
+        assert model(300.0) == 3.0
+
+    def test_passes_models_through(self):
+        original = Arrhenius(1.0, 1e3)
+        assert as_model(original) is original

@@ -1,0 +1,56 @@
+"""Tests for solid material definitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials.solids import (
+    BEOL,
+    COPPER,
+    POROUS_CARBON,
+    SILICON,
+    SILICON_DIOXIDE,
+    THERMAL_INTERFACE,
+    SolidMaterial,
+)
+
+
+class TestStandardMaterials:
+    def test_silicon_conductivity(self):
+        assert SILICON.thermal_conductivity == pytest.approx(130.0)
+
+    def test_copper_is_better_conductor_than_silicon(self):
+        assert COPPER.thermal_conductivity > SILICON.thermal_conductivity
+
+    def test_oxide_is_poor_conductor(self):
+        assert SILICON_DIOXIDE.thermal_conductivity < 2.0
+
+    def test_copper_resistivity(self):
+        assert COPPER.electrical_resistivity == pytest.approx(1.72e-8)
+
+    def test_insulators_have_no_resistivity(self):
+        assert SILICON.electrical_resistivity is None
+        assert THERMAL_INTERFACE.electrical_resistivity is None
+
+    def test_beol_between_oxide_and_silicon(self):
+        assert (
+            SILICON_DIOXIDE.thermal_conductivity
+            < BEOL.thermal_conductivity
+            < SILICON.thermal_conductivity
+        )
+
+    def test_porous_carbon_conducts_electricity(self):
+        assert POROUS_CARBON.electrical_resistivity is not None
+
+
+class TestValidation:
+    def test_rejects_nonpositive_conductivity(self):
+        with pytest.raises(ConfigurationError):
+            SolidMaterial("bad", 0.0, 1e6)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SolidMaterial("bad", 100.0, -1.0)
+
+    def test_rejects_nonpositive_resistivity(self):
+        with pytest.raises(ConfigurationError):
+            SolidMaterial("bad", 100.0, 1e6, electrical_resistivity=0.0)

@@ -1,0 +1,93 @@
+"""Tests for redox couple definitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials.species import (
+    RedoxCouple,
+    vanadium_negative_couple,
+    vanadium_positive_couple,
+)
+
+
+class TestRedoxCouple:
+    def test_basic_construction(self):
+        couple = RedoxCouple("test", 0.5, 1, 0.5, 1e-5, 1e-10)
+        assert couple.electrons == 1
+        assert couple.rate_constant(300.0) == 1e-5
+
+    def test_single_diffusivity_used_for_both(self):
+        couple = RedoxCouple("test", 0.5, 1, 0.5, 1e-5, 1e-10)
+        assert couple.diffusivity_red(300.0) == couple.diffusivity_ox(300.0)
+
+    def test_distinct_diffusivities(self):
+        couple = RedoxCouple("test", 0.5, 1, 0.5, 1e-5, 1e-10, 2e-10)
+        assert couple.diffusivity_red(300.0) == 2e-10
+
+    def test_rejects_bad_transfer_coefficient(self):
+        for alpha in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(ConfigurationError):
+                RedoxCouple("bad", 0.5, 1, alpha, 1e-5, 1e-10)
+
+    def test_rejects_zero_electrons(self):
+        with pytest.raises(ConfigurationError):
+            RedoxCouple("bad", 0.5, 0, 0.5, 1e-5, 1e-10)
+
+    def test_tempco_default_zero(self):
+        couple = RedoxCouple("test", 0.5, 1, 0.5, 1e-5, 1e-10)
+        assert couple.standard_potential_at(340.0) == couple.standard_potential_v
+
+    def test_tempco_applied(self):
+        couple = RedoxCouple(
+            "test", 1.0, 1, 0.5, 1e-5, 1e-10,
+            standard_potential_tempco_v_per_k=-1e-3,
+        )
+        assert couple.standard_potential_at(310.0) == pytest.approx(0.99)
+
+
+class TestVanadiumCouples:
+    def test_negative_table1_defaults(self):
+        neg = vanadium_negative_couple()
+        assert neg.standard_potential_v == pytest.approx(-0.255)
+        assert neg.rate_constant(300.0) == pytest.approx(2.0e-5)
+        assert neg.diffusivity_red(300.0) == pytest.approx(1.7e-10)
+
+    def test_positive_table1_defaults(self):
+        pos = vanadium_positive_couple()
+        assert pos.standard_potential_v == pytest.approx(0.991)
+        assert pos.rate_constant(300.0) == pytest.approx(1.0e-5)
+
+    def test_standard_ocv_is_vanadium_value(self):
+        # E0_pos - E0_neg = 0.991 + 0.255 = 1.246 ~ the 1.25 V of the paper.
+        neg, pos = vanadium_negative_couple(), vanadium_positive_couple()
+        assert pos.standard_potential_v - neg.standard_potential_v == pytest.approx(
+            1.246, abs=1e-3
+        )
+
+    def test_isothermal_by_default(self):
+        neg = vanadium_negative_couple()
+        assert neg.rate_constant(330.0) == neg.rate_constant(300.0)
+
+    def test_temperature_dependent_kinetics_rise(self):
+        neg = vanadium_negative_couple(temperature_dependent=True)
+        assert neg.rate_constant(330.0) > neg.rate_constant(300.0)
+        assert neg.diffusivity_red(330.0) > neg.diffusivity_red(300.0)
+
+    def test_tempcos_nearly_cancel_nernst_growth(self):
+        # Full-cell OCV drift should be small (|dU/dT| < 0.5 mV/K) at the
+        # charged Table II composition.
+        from repro.electrochem.nernst import open_circuit_voltage
+
+        neg = vanadium_negative_couple(temperature_dependent=True)
+        pos = vanadium_positive_couple(temperature_dependent=True, standard_potential_v=1.0)
+        u300 = open_circuit_voltage(pos, 2000, 1, neg, 1, 2000, 300.0)
+        u320 = open_circuit_voltage(pos, 2000, 1, neg, 1, 2000, 320.0)
+        assert abs(u320 - u300) / 20.0 < 5e-4
+
+    def test_table2_overrides(self):
+        neg = vanadium_negative_couple(
+            rate_constant_m_s=5.33e-5, diffusivity_m2_s=4.13e-10,
+            transfer_coefficient=0.25,
+        )
+        assert neg.rate_constant(300.0) == pytest.approx(5.33e-5)
+        assert neg.transfer_coefficient == 0.25

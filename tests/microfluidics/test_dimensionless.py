@@ -1,0 +1,69 @@
+"""Tests for the dimensionless-group characterisation."""
+
+import pytest
+
+from repro.casestudy.power7plus import build_array_spec
+from repro.casestudy.validation_cell import build_validation_spec
+from repro.errors import ConfigurationError
+from repro.microfluidics.dimensionless import characterize
+
+
+@pytest.fixture
+def validation_regime():
+    spec = build_validation_spec(60.0)
+    return characterize(
+        spec.channel, spec.anolyte.fluid,
+        spec.catholyte.couple.diffusivity_ox(300.0),
+        spec.volumetric_flow_m3_s,
+    )
+
+
+@pytest.fixture
+def array_regime():
+    spec = build_array_spec()
+    return characterize(
+        spec.channel, spec.anolyte.fluid,
+        spec.catholyte.couple.diffusivity_ox(300.0),
+        spec.volumetric_flow_m3_s,
+    )
+
+
+class TestValidationCellRegime:
+    def test_deeply_laminar(self, validation_regime):
+        assert validation_regime.reynolds < 1.0
+        assert validation_regime.is_laminar
+
+    def test_liquid_schmidt_is_huge(self, validation_regime):
+        """Sc = nu/D ~ 1e4 for ions in a viscous aqueous electrolyte —
+        concentration layers far thinner than momentum layers."""
+        assert 1e3 < validation_regime.schmidt < 1e5
+
+    def test_axial_diffusion_negligible(self, validation_regime):
+        assert validation_regime.peclet_axial > 1e2
+        assert validation_regime.axial_diffusion_negligible
+
+    def test_sherwood_order(self, validation_regime):
+        """Sh of a developing layer exceeds the fully developed ~3-8."""
+        assert validation_regime.sherwood_avg > 3.0
+
+
+class TestArrayRegime:
+    def test_laminar_at_full_flow(self, array_regime):
+        assert array_regime.is_laminar
+        assert 100.0 < array_regime.reynolds < 500.0
+
+    def test_marching_reduction_justified(self, array_regime):
+        """Pe ~ 1e8: the parabolized FV solver's core assumption."""
+        assert array_regime.peclet_axial > 1e6
+
+    def test_leveque_regime(self, array_regime):
+        assert array_regime.boundary_layer_developing
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        spec = build_validation_spec(60.0)
+        with pytest.raises(ConfigurationError):
+            characterize(spec.channel, spec.anolyte.fluid, 0.0, 1e-9)
+        with pytest.raises(ConfigurationError):
+            characterize(spec.channel, spec.anolyte.fluid, 1e-10, 0.0)

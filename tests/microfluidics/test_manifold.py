@@ -1,0 +1,120 @@
+"""Tests for manifold flow-distribution modelling."""
+
+import numpy as np
+import pytest
+
+from repro.casestudy.power7plus import PERMEABILITY_M2, build_array_layout
+from repro.errors import ConfigurationError
+from repro.geometry.array import ChannelArray
+from repro.geometry.channel import RectangularChannel
+from repro.materials.fluid import vanadium_electrolyte_fluid
+from repro.microfluidics.manifold import (
+    FlowDistribution,
+    ManifoldDesign,
+    header_width_for_uniformity,
+    solve_flow_distribution,
+)
+from repro.units import m3s_from_ml_per_min
+
+
+@pytest.fixture
+def fluid():
+    return vanadium_electrolyte_fluid()
+
+
+def make_design(header_width_m=4e-3, configuration="Z", n_channels=22,
+                permeability=PERMEABILITY_M2):
+    channel = RectangularChannel(200e-6, 400e-6, 22e-3)
+    array = ChannelArray(channel, n_channels, 300e-6)
+    header = RectangularChannel(header_width_m, 400e-6, 1e-3)
+    return ManifoldDesign(array, header, configuration, permeability)
+
+
+class TestFlowDistribution:
+    def test_total_flow_conserved(self, fluid):
+        design = make_design()
+        total = m3s_from_ml_per_min(169.0)
+        result = solve_flow_distribution(design, fluid, total)
+        assert result.total_m3_s == pytest.approx(total, rel=1e-9)
+
+    def test_wide_header_is_uniform(self, fluid):
+        design = make_design(header_width_m=10e-3)
+        result = solve_flow_distribution(design, fluid, m3s_from_ml_per_min(169.0))
+        assert result.uniformity > 0.99
+
+    def test_thin_header_maldistributes(self, fluid):
+        wide = make_design(header_width_m=10e-3)
+        thin = make_design(header_width_m=0.6e-3)
+        total = m3s_from_ml_per_min(169.0)
+        u_wide = solve_flow_distribution(wide, fluid, total).uniformity
+        u_thin = solve_flow_distribution(thin, fluid, total).uniformity
+        assert u_thin < u_wide
+
+    def test_uniformity_monotone_in_header_width(self, fluid):
+        total = m3s_from_ml_per_min(169.0)
+        uniformities = [
+            solve_flow_distribution(make_design(header_width_m=w), fluid, total).uniformity
+            for w in (0.8e-3, 1.5e-3, 3e-3, 6e-3)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(uniformities, uniformities[1:]))
+
+    def test_z_configuration_symmetric_profile(self, fluid):
+        """In a Z manifold with symmetric headers the near and far channels
+        are both favoured over the middle ones (classic ladder result)."""
+        design = make_design(header_width_m=1.2e-3, configuration="Z")
+        flows = solve_flow_distribution(
+            design, fluid, m3s_from_ml_per_min(169.0)
+        ).flows_m3_s
+        assert np.allclose(flows, flows[::-1], rtol=1e-6)
+        assert flows.min() == pytest.approx(flows[len(flows) // 2], rel=1e-3)
+
+    def test_u_configuration_favours_near_channels(self, fluid):
+        design = make_design(header_width_m=1.2e-3, configuration="U")
+        flows = solve_flow_distribution(
+            design, fluid, m3s_from_ml_per_min(169.0)
+        ).flows_m3_s
+        assert flows[0] > flows[-1]
+
+    def test_maldistribution_metrics_consistent(self, fluid):
+        design = make_design(header_width_m=1e-3)
+        result = solve_flow_distribution(design, fluid, m3s_from_ml_per_min(169.0))
+        assert 0.0 < result.uniformity <= 1.0
+        assert result.maldistribution >= 0.0
+        assert 0.0 <= result.worst_channel_deficit < 1.0
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            make_design(configuration="X")
+
+    def test_rejects_zero_flow(self, fluid):
+        with pytest.raises(ConfigurationError):
+            solve_flow_distribution(make_design(), fluid, 0.0)
+
+
+class TestHeaderSizing:
+    def test_sized_header_meets_target(self, fluid):
+        design = make_design(header_width_m=0.6e-3)
+        total = m3s_from_ml_per_min(169.0)
+        width = header_width_for_uniformity(design, fluid, total, 0.95)
+        sized = make_design(header_width_m=width)
+        result = solve_flow_distribution(sized, fluid, total)
+        assert result.uniformity >= 0.95 - 1e-6
+
+    def test_table2_array_needs_millimetre_headers(self, fluid):
+        """System-design output: the 88-channel array wants a header of a
+        few millimetres for a 95 % even split."""
+        layout = build_array_layout()
+        header = RectangularChannel(0.5e-3, 400e-6, 1e-3)
+        design = ManifoldDesign(layout, header, "Z", PERMEABILITY_M2)
+        width = header_width_for_uniformity(
+            design, fluid, m3s_from_ml_per_min(676.0), 0.95
+        )
+        assert 0.5e-3 < width < 10e-3
+
+    def test_impossible_target_raises(self, fluid):
+        design = make_design(header_width_m=0.6e-3)
+        with pytest.raises(ConfigurationError):
+            header_width_for_uniformity(
+                design, fluid, m3s_from_ml_per_min(169.0), 0.999999,
+                max_width_m=0.7e-3,
+            )

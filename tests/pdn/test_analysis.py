@@ -1,0 +1,122 @@
+"""Tests for PDN signoff analysis (branch currents, EM)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn.analysis import (
+    branch_currents,
+    em_utilization,
+    feed_current_headroom,
+)
+from repro.pdn.grid import PowerGrid
+from repro.pdn.solver import solve_grid
+
+
+@pytest.fixture
+def line_case():
+    """1x3 line: feed at node 0, 0.1 A load at node 2 — known currents."""
+    grid = PowerGrid(3, 1, 1e-3, 1e-3, 0.1)
+    grid.add_feed(0, 0, 1.0, 0.5)
+    grid.add_load(2, 0, 0.1)
+    return grid, solve_grid(grid)
+
+
+class TestBranchCurrents:
+    def test_line_currents_carry_the_load(self, line_case):
+        grid, solution = line_case
+        currents = branch_currents(grid, solution)
+        # All 0.1 A flows through both branches toward the load.
+        assert currents.x[0, 0] == pytest.approx(0.1, rel=1e-9)
+        assert currents.x[0, 1] == pytest.approx(0.1, rel=1e-9)
+
+    def test_no_vertical_branches_in_a_line(self, line_case):
+        grid, solution = line_case
+        currents = branch_currents(grid, solution)
+        assert currents.y.size == 0
+
+    def test_max_magnitude(self, line_case):
+        grid, solution = line_case
+        assert branch_currents(grid, solution).max_magnitude_a == pytest.approx(0.1)
+
+    def test_kirchhoff_at_interior_node(self):
+        """Current into an interior node equals current out."""
+        grid = PowerGrid(3, 3, 1e-3, 1e-3, 0.1)
+        grid.add_feed(0, 0, 1.0, 0.2)
+        grid.add_load(2, 2, 0.05)
+        solution = solve_grid(grid)
+        currents = branch_currents(grid, solution)
+        # Node (1,1): in from left + down-from-above = out right + down.
+        into = currents.x[1, 0] + currents.y[0, 1]
+        out = currents.x[1, 1] + currents.y[1, 1]
+        assert into == pytest.approx(out, abs=1e-12)
+
+
+class TestEmSignoff:
+    def test_case_study_grid_passes(self, pdn_result, floorplan):
+        """Each raster branch lumps a ~250 um cell's worth of parallel
+        straps; at an aggregate 50 um of metal the worst branch (22 mA,
+        next to a feed) sits inside the 1 mA/um EM budget."""
+        from repro.pdn.power7_pdn import build_cache_pdn
+
+        grid, _ = build_cache_pdn(floorplan)
+        utilization = em_utilization(grid, pdn_result.solution,
+                                     wire_width_m=50e-6)
+        assert 0.0 < utilization < 1.0
+
+    def test_narrow_wire_fails(self, line_case):
+        grid, solution = line_case
+        # 0.1 A through a 10 nm-wide wire: hopeless.
+        assert em_utilization(grid, solution, wire_width_m=1e-8) > 1.0
+
+    def test_utilization_scales_inversely_with_width(self, line_case):
+        grid, solution = line_case
+        narrow = em_utilization(grid, solution, wire_width_m=10e-6)
+        wide = em_utilization(grid, solution, wire_width_m=20e-6)
+        assert narrow == pytest.approx(2.0 * wide, rel=1e-9)
+
+    def test_rejects_bad_width(self, line_case):
+        grid, solution = line_case
+        with pytest.raises(ConfigurationError):
+            em_utilization(grid, solution, wire_width_m=0.0)
+
+
+class TestFeedHeadroom:
+    def test_case_study_feeds_within_tsv_rating(self, pdn_result, floorplan):
+        from repro.pdn.power7_pdn import CachePdnConfig, build_cache_pdn
+
+        grid, _ = build_cache_pdn(floorplan)
+        limit = CachePdnConfig().tsv_bundle.max_current_a
+        headroom = feed_current_headroom(grid, pdn_result.solution, limit)
+        assert 0.0 < headroom < 1.0
+
+    def test_rejects_bad_limit(self, line_case):
+        grid, solution = line_case
+        with pytest.raises(ConfigurationError):
+            feed_current_headroom(grid, solution, 0.0)
+
+
+class TestAxialProfile:
+    def test_reactant_decreases_downstream(self, array_cell):
+        anolyte = array_cell.spec.anolyte
+        xs, conc_ox, conc_red = array_cell.axial_profile(anolyte, 0.3, True)
+        assert xs.size == array_cell.n_segments
+        assert np.all(np.diff(conc_red) <= 1e-9)
+        assert np.all(np.diff(conc_ox) >= -1e-9)
+
+    def test_total_vanadium_conserved_along_channel(self, array_cell):
+        anolyte = array_cell.spec.anolyte
+        _, conc_ox, conc_red = array_cell.axial_profile(anolyte, 0.3, True)
+        total = conc_ox + conc_red
+        assert np.allclose(total, anolyte.total_vanadium, rtol=1e-9)
+
+    def test_profile_matches_electrode_current(self, array_cell):
+        """The concentration drop integrates to the Faradaic current."""
+        from repro.constants import FARADAY
+
+        anolyte = array_cell.spec.anolyte
+        _, _, conc_red = array_cell.axial_profile(anolyte, 0.3, True)
+        converted = anolyte.conc_red - conc_red[-1]
+        expected = converted * FARADAY * array_cell.spec.stream_flow_m3_s
+        measured = array_cell.electrode_current(anolyte, 0.3, True)
+        assert measured == pytest.approx(expected, rel=1e-9)

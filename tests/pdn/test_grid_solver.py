@@ -1,0 +1,134 @@
+"""Tests for power-grid construction and the nodal solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn.grid import PowerGrid
+from repro.pdn.solver import solve_grid
+
+
+def make_grid(nx=5, ny=5, sheet=0.1, mask=None):
+    return PowerGrid(
+        nx=nx, ny=ny, pitch_x_m=1e-3, pitch_y_m=1e-3,
+        sheet_resistance_ohm_sq=sheet, mask=mask,
+    )
+
+
+class TestConstruction:
+    def test_branch_conductances_square_pitch(self):
+        grid = make_grid(sheet=0.1)
+        assert grid.branch_conductance_x_s == pytest.approx(10.0)
+        assert grid.branch_conductance_y_s == pytest.approx(10.0)
+
+    def test_rectangular_pitch_anisotropy(self):
+        grid = PowerGrid(4, 4, 2e-3, 1e-3, 0.1)
+        assert grid.branch_conductance_x_s == pytest.approx(5.0)
+        assert grid.branch_conductance_y_s == pytest.approx(20.0)
+
+    def test_rejects_load_on_masked_node(self):
+        mask = np.ones((5, 5), dtype=bool)
+        mask[2, 2] = False
+        grid = make_grid(mask=mask)
+        with pytest.raises(ConfigurationError):
+            grid.add_load(2, 2, 0.1)
+
+    def test_rejects_out_of_range_node(self):
+        grid = make_grid()
+        with pytest.raises(ConfigurationError):
+            grid.add_feed(7, 0, 1.0, 0.1)
+
+    def test_parallel_feeds_combine(self):
+        grid = make_grid()
+        grid.add_feed(0, 0, 1.0, 2.0)
+        grid.add_feed(0, 0, 1.0, 2.0)
+        assert grid.feed_conductance_s[0, 0] == pytest.approx(1.0)
+        assert grid.feed_voltage_v[0, 0] == pytest.approx(1.0)
+
+
+class TestSolutionPhysics:
+    def test_no_load_all_nodes_at_source(self):
+        grid = make_grid()
+        grid.add_feed(2, 2, 1.0, 0.5)
+        solution = solve_grid(grid)
+        assert solution.max_voltage_v == pytest.approx(1.0)
+        assert solution.min_voltage_v == pytest.approx(1.0)
+
+    def test_single_load_single_feed_ir_drop(self):
+        """Two-node analytic case: drop = I * (R_feed)."""
+        grid = PowerGrid(2, 1, 1e-3, 1e-3, 0.1)
+        grid.add_feed(0, 0, 1.0, 0.5)
+        grid.add_load(1, 0, 0.2)
+        solution = solve_grid(grid)
+        # Node 0: 1.0 - 0.2*0.5 = 0.9; node 1: 0.9 - 0.2*R_branch.
+        r_branch = 0.1  # sheet 0.1, square cell
+        assert solution.voltage_map_v[0, 0] == pytest.approx(0.9)
+        assert solution.voltage_map_v[0, 1] == pytest.approx(0.9 - 0.2 * r_branch)
+
+    def test_feed_current_matches_load(self):
+        grid = make_grid()
+        grid.add_feed(0, 0, 1.0, 0.1)
+        for ix in range(5):
+            for iy in range(5):
+                grid.add_load(ix, iy, 0.01)
+        solution = solve_grid(grid)
+        assert solution.feed_current_a.sum() == pytest.approx(0.25, rel=1e-9)
+
+    def test_voltage_bounded_by_source(self):
+        grid = make_grid()
+        grid.add_feed(2, 2, 1.0, 0.3)
+        grid.add_load(0, 0, 0.05)
+        solution = solve_grid(grid)
+        assert solution.max_voltage_v <= 1.0 + 1e-12
+
+    def test_kcl_residual_tiny(self, pdn_result):
+        assert pdn_result.solution.kcl_residual_a < 1e-9
+
+    def test_dissipation_nonnegative(self):
+        grid = make_grid()
+        grid.add_feed(0, 0, 1.0, 0.2)
+        grid.add_load(4, 4, 0.1)
+        solution = solve_grid(grid)
+        assert solution.grid_dissipation_w > 0.0
+
+    def test_dissipation_equals_i2r_sum(self):
+        """Injected - delivered must equal the sum of branch + feed I^2R."""
+        grid = make_grid(nx=3, ny=1)
+        grid.add_feed(0, 0, 1.0, 0.5)
+        grid.add_load(2, 0, 0.1)
+        solution = solve_grid(grid)
+        v = solution.voltage_map_v[0]
+        r_branch = 0.1
+        dissipation = (
+            0.1**2 * 0.5
+            + (v[0] - v[1]) ** 2 / r_branch
+            + (v[1] - v[2]) ** 2 / r_branch
+        )
+        assert solution.grid_dissipation_w == pytest.approx(dissipation, rel=1e-9)
+
+
+class TestIslandDetection:
+    def test_feedless_island_raises(self):
+        mask = np.ones((5, 5), dtype=bool)
+        mask[:, 2] = False  # split into two islands
+        grid = make_grid(mask=mask)
+        grid.add_feed(0, 0, 1.0, 0.1)  # only the left island is fed
+        grid.add_load(4, 4, 0.01)
+        with pytest.raises(ConfigurationError):
+            solve_grid(grid)
+
+    def test_both_islands_fed_is_fine(self):
+        mask = np.ones((5, 5), dtype=bool)
+        mask[:, 2] = False
+        grid = make_grid(mask=mask)
+        grid.add_feed(0, 0, 1.0, 0.1)
+        grid.add_feed(4, 0, 1.0, 0.1)
+        grid.add_load(4, 4, 0.01)
+        solution = solve_grid(grid)
+        assert np.isfinite(solution.min_voltage_v)
+
+    def test_empty_mask_raises(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        grid = make_grid(mask=mask)
+        with pytest.raises(ConfigurationError):
+            grid.assemble()

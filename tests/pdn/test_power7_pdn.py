@@ -1,0 +1,78 @@
+"""Tests for the POWER7+ cache PDN case study (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.floorplan import BlockKind
+from repro.pdn.power7_pdn import CachePdnConfig, build_cache_pdn, solve_cache_pdn
+
+
+class TestBuild:
+    def test_feed_count_positive(self, floorplan):
+        grid, feed_count = build_cache_pdn(floorplan)
+        assert feed_count > 0
+        assert (grid.feed_conductance_s > 0).sum() > 0
+
+    def test_mask_covers_only_cache(self, floorplan):
+        grid, _ = build_cache_pdn(floorplan)
+        mask = floorplan.rasterize_mask(grid.nx, grid.ny, BlockKind.L2, BlockKind.L3)
+        assert np.array_equal(grid.mask, mask)
+
+    def test_total_load_is_cache_demand(self, floorplan):
+        config = CachePdnConfig()
+        grid, _ = build_cache_pdn(floorplan, config)
+        assert grid.loads_a.sum() == pytest.approx(
+            config.total_cache_power_w / config.nominal_voltage_v, rel=1e-9
+        )
+
+
+class TestFig8Anchors:
+    def test_supply_current_is_5a(self, pdn_result):
+        """The paper's cache requirement: 5 A at 1 V."""
+        assert pdn_result.supply_current_a == pytest.approx(5.0, rel=1e-6)
+
+    def test_voltage_range_matches_fig8(self, pdn_result):
+        """All cache nodes within the paper's ~[0.96, 1.0] V window."""
+        assert pdn_result.min_voltage_v > 0.955
+        assert pdn_result.max_voltage_v < 1.0
+        assert pdn_result.max_voltage_v > 0.985
+
+    def test_voltage_spread_visible(self, pdn_result):
+        """Fig. 8 shows a ~20-35 mV spread across the cache blocks."""
+        spread = pdn_result.max_voltage_v - pdn_result.min_voltage_v
+        assert 0.01 < spread < 0.05
+
+    def test_array_covers_demand_with_margin(self, pdn_result, array_88):
+        """The 6 A capability at 1 V covers the 5 A grid demand."""
+        assert array_88.current_at_voltage(1.0) > pdn_result.supply_current_a
+
+    def test_non_cache_region_unpowered(self, pdn_result):
+        voltage = pdn_result.voltage_map_v
+        assert np.isnan(voltage).any()
+        assert np.isfinite(voltage).any()
+
+    def test_every_cache_block_has_stats(self, pdn_result, floorplan):
+        assert set(pdn_result.block_min_voltage_v) == {
+            b.name for b in floorplan.cache_blocks
+        }
+
+    def test_block_minima_within_global_range(self, pdn_result):
+        for name, value in pdn_result.block_min_voltage_v.items():
+            assert pdn_result.min_voltage_v <= value <= pdn_result.max_voltage_v, name
+
+
+class TestParameterSensitivity:
+    def test_higher_feed_impedance_lowers_voltage(self, floorplan):
+        base = solve_cache_pdn(floorplan, CachePdnConfig(nx=53, ny=42))
+        weak = solve_cache_pdn(
+            floorplan, CachePdnConfig(nx=53, ny=42, vrm_output_impedance_ohm=0.6)
+        )
+        assert weak.min_voltage_v < base.min_voltage_v
+
+    def test_more_power_more_drop(self, floorplan):
+        base = solve_cache_pdn(floorplan, CachePdnConfig(nx=53, ny=42))
+        heavy = solve_cache_pdn(
+            floorplan, CachePdnConfig(nx=53, ny=42, total_cache_power_w=10.0)
+        )
+        assert heavy.min_voltage_v < base.min_voltage_v
+        assert heavy.supply_current_a == pytest.approx(10.0, rel=1e-6)

@@ -1,0 +1,70 @@
+"""Property-based tests for flow-cell models."""
+
+from hypothesis import given, settings, strategies as st
+import numpy as np
+import pytest
+
+from repro.casestudy.power7plus import build_array_cell
+from repro.casestudy.validation_cell import build_validation_cell, build_validation_spec
+from repro.flowcell.planar import PlanarColaminarCell
+
+
+class TestPlanarCellProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(flow_ul_min=st.floats(min_value=1.0, max_value=500.0))
+    def test_polarization_monotone_any_flow(self, flow_ul_min):
+        cell = build_validation_cell(flow_ul_min)
+        curve = cell.polarization_curve(25)
+        assert np.all(np.diff(curve.voltage_v) <= 1e-12)
+        assert np.all(np.diff(curve.current_a) > 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(q1=st.floats(min_value=1.0, max_value=500.0),
+           q2=st.floats(min_value=1.0, max_value=500.0))
+    def test_limiting_current_monotone_in_flow(self, q1, q2):
+        lo, hi = sorted((q1, q2))
+        cell_lo = build_validation_cell(lo)
+        cell_hi = build_validation_cell(hi)
+        assert cell_hi.limiting_current_a >= cell_lo.limiting_current_a - 1e-15
+
+    @settings(max_examples=15, deadline=None)
+    @given(flow_ul_min=st.floats(min_value=2.0, max_value=400.0),
+           fraction=st.floats(min_value=0.0, max_value=0.9))
+    def test_voltage_below_ocv_everywhere(self, flow_ul_min, fraction):
+        cell = build_validation_cell(flow_ul_min)
+        voltage = cell.voltage_at_current(fraction * cell.limiting_current_a)
+        assert voltage <= cell.open_circuit_voltage_v + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(t=st.floats(min_value=285.0, max_value=345.0))
+    def test_temperature_dependent_cell_stays_well_posed(self, t):
+        spec = build_validation_spec(60.0, temperature_dependent=True)
+        cell = PlanarColaminarCell(spec, temperature_k=t)
+        curve = cell.polarization_curve(20)
+        assert np.all(np.isfinite(curve.voltage_v))
+        assert curve.open_circuit_voltage_v > 1.0
+
+
+class TestPorousCellProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(flow_ml_min=st.floats(min_value=40.0, max_value=1200.0))
+    def test_array_cell_monotone_any_flow(self, flow_ml_min):
+        cell = build_array_cell(total_flow_ml_min=flow_ml_min, n_segments=15)
+        curve = cell.polarization_curve(n_points=15, n_potential_samples=20)
+        assert np.all(np.diff(curve.voltage_v) <= 1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(flow_ml_min=st.floats(min_value=40.0, max_value=1200.0),
+           potential=st.floats(min_value=-0.4, max_value=0.6))
+    def test_electrode_current_bounded_by_faradaic_limit(self, flow_ml_min, potential):
+        cell = build_array_cell(total_flow_ml_min=flow_ml_min, n_segments=15)
+        current = cell.electrode_current(cell.spec.anolyte, potential, anodic=True)
+        assert current <= cell.faradaic_limit_a + 1e-12
+
+    @settings(max_examples=10, deadline=None)
+    @given(t=st.floats(min_value=290.0, max_value=350.0))
+    def test_ocv_nearly_flat_in_temperature(self, t):
+        """The calibrated tempcos keep the OCV within a few mV of 300 K."""
+        cell = build_array_cell(temperature_k=t, temperature_dependent=True,
+                                n_segments=10)
+        assert cell.open_circuit_voltage_v == pytest.approx(1.648, abs=0.02)

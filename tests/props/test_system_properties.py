@@ -1,0 +1,117 @@
+"""Property-based tests for system-level components.
+
+Covers conservation and monotonicity invariants of the manifold ladder
+solver, reservoir bookkeeping and workload power maps.
+"""
+
+from hypothesis import given, settings, strategies as st
+import numpy as np
+import pytest
+
+from repro.casestudy.power7plus import build_array_spec
+from repro.flowcell.recirculation import ElectrolyteReservoir
+from repro.geometry.array import ChannelArray
+from repro.geometry.channel import RectangularChannel
+from repro.materials.fluid import vanadium_electrolyte_fluid
+from repro.microfluidics.manifold import ManifoldDesign, solve_flow_distribution
+
+
+class TestManifoldProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        header_width_mm=st.floats(0.8, 10.0),
+        n_channels=st.integers(4, 40),
+        flow_ml_min=st.floats(10.0, 1000.0),
+        configuration=st.sampled_from(["U", "Z"]),
+    )
+    def test_mass_conservation(self, header_width_mm, n_channels, flow_ml_min,
+                               configuration):
+        """The channel flows always sum to the inlet flow exactly."""
+        channel = RectangularChannel(200e-6, 400e-6, 22e-3)
+        array = ChannelArray(channel, n_channels, 300e-6)
+        header = RectangularChannel(header_width_mm * 1e-3, 400e-6, 1e-3)
+        design = ManifoldDesign(array, header, configuration)
+        total = flow_ml_min * 1e-6 / 60.0
+        result = solve_flow_distribution(
+            design, vanadium_electrolyte_fluid(), total
+        )
+        assert result.total_m3_s == pytest.approx(total, rel=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        header_width_mm=st.floats(1.0, 10.0),
+        n_channels=st.integers(4, 40),
+    )
+    def test_uniformity_bounded(self, header_width_mm, n_channels):
+        channel = RectangularChannel(200e-6, 400e-6, 22e-3)
+        array = ChannelArray(channel, n_channels, 300e-6)
+        header = RectangularChannel(header_width_mm * 1e-3, 400e-6, 1e-3)
+        design = ManifoldDesign(array, header, "Z")
+        result = solve_flow_distribution(
+            design, vanadium_electrolyte_fluid(), 1e-5
+        )
+        assert 0.0 < result.uniformity <= 1.0 + 1e-12
+        assert result.worst_channel_deficit >= -1e-12
+
+
+class TestReservoirProperties:
+    @settings(max_examples=30)
+    @given(
+        volume_l=st.floats(0.01, 10.0),
+        draws=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=10),
+    )
+    def test_total_vanadium_invariant(self, volume_l, draws):
+        """No sequence of partial (dis)charges changes total vanadium."""
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, volume_l * 1e-3, is_fuel=True)
+        total_before = tank.conc_ox + tank.conc_red
+        for charge in draws:
+            try:
+                tank.draw_charge(charge)
+            except Exception:
+                pass  # exhausted requests are rejected atomically
+        assert tank.conc_ox + tank.conc_red == pytest.approx(total_before)
+
+    @settings(max_examples=30)
+    @given(volume_l=st.floats(0.01, 10.0), charge_factor=st.floats(0.01, 0.95))
+    def test_charge_bookkeeping_exact(self, volume_l, charge_factor):
+        """Charge drawn equals n*F times the moles converted."""
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, volume_l * 1e-3, is_fuel=True)
+        charge = charge_factor * tank.total_charge_c
+        red_before = tank.conc_red
+        tank.draw_charge(charge)
+        from repro.constants import FARADAY
+
+        converted = (red_before - tank.conc_red) * tank.volume_m3
+        assert FARADAY * converted == pytest.approx(charge, rel=1e-9)
+
+    @settings(max_examples=20)
+    @given(volume_l=st.floats(0.01, 10.0), fraction=st.floats(0.05, 0.9))
+    def test_soc_monotone_under_discharge(self, volume_l, fraction):
+        spec = build_array_spec()
+        tank = ElectrolyteReservoir(spec.anolyte, volume_l * 1e-3, is_fuel=True)
+        soc_trace = [tank.state_of_charge]
+        step = fraction * tank.total_charge_c / 5.0
+        for _ in range(5):
+            tank.draw_charge(step)
+            soc_trace.append(tank.state_of_charge)
+        assert all(a > b for a, b in zip(soc_trace, soc_trace[1:]))
+
+
+class TestWorkloadProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(factor=st.floats(0.0, 1.0))
+    def test_uniform_activity_scales_power(self, factor):
+        from repro.casestudy.workloads import Workload
+        from repro.geometry.floorplan import BlockKind
+        from repro.geometry.power7 import build_power7_floorplan
+
+        floorplan = build_power7_floorplan()
+        full = Workload(name="full")
+        scaled = Workload(
+            name="scaled", activity={kind: factor for kind in BlockKind}
+        )
+        p_full = full.power_map(26, 20, floorplan).sum()
+        p_scaled = scaled.power_map(26, 20, floorplan).sum()
+        assert p_scaled == pytest.approx(factor * p_full, rel=1e-9, abs=1e-12)

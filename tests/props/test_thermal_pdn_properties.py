@@ -1,0 +1,132 @@
+"""Property-based tests for the thermal and PDN solvers."""
+
+from hypothesis import given, settings, strategies as st
+import numpy as np
+import pytest
+
+from repro.casestudy.power7plus import build_thermal_stack
+from repro.pdn.grid import PowerGrid
+from repro.pdn.solver import solve_grid
+from repro.thermal.model import ThermalModel
+
+
+def solve_small_thermal(power_cells, flow_ml_min=676.0, inlet_k=300.0):
+    ny, nx = power_cells.shape
+    model = ThermalModel(
+        build_thermal_stack(flow_ml_min, inlet_k), 26.55e-3, 21.34e-3, nx, ny
+    )
+    model.set_power_map("active_si", power_cells)
+    return model.solve_steady()
+
+
+class TestThermalProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_solution_bounded_below_by_inlet(self, data):
+        power = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.floats(0.0, 2.0), min_size=8, max_size=8),
+                    min_size=4, max_size=4,
+                )
+            )
+        )
+        solution = solve_small_thermal(power)
+        assert solution.min_k >= 300.0 - 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_energy_balance_closes_for_any_map(self, data):
+        power = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.floats(0.0, 5.0), min_size=8, max_size=8),
+                    min_size=4, max_size=4,
+                )
+            )
+        )
+        solution = solve_small_thermal(power)
+        total = float(power.sum())
+        assert solution.coolant_heat_removal_w() == pytest.approx(
+            total, abs=max(1e-9, 1e-9 * total)
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(scale=st.floats(0.1, 4.0))
+    def test_superposition(self, scale):
+        """Linearity: scaling the power map scales every temperature rise."""
+        base = np.full((4, 8), 1.0)
+        t_base = solve_small_thermal(base)
+        t_scaled = solve_small_thermal(scale * base)
+        rise_base = t_base.temperatures_k - 300.0
+        rise_scaled = t_scaled.temperatures_k - 300.0
+        assert np.allclose(rise_scaled, scale * rise_base, rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=8, deadline=None)
+    @given(inlet=st.floats(285.0, 320.0))
+    def test_inlet_translation(self, inlet):
+        """Shifting the inlet temperature shifts the whole field."""
+        power = np.full((4, 8), 1.5)
+        t_300 = solve_small_thermal(power, inlet_k=300.0)
+        t_shift = solve_small_thermal(power, inlet_k=inlet)
+        assert np.allclose(
+            t_shift.temperatures_k - t_300.temperatures_k,
+            inlet - 300.0,
+            atol=1e-9,
+        )
+
+
+class TestPdnProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_voltages_between_zero_and_source(self, data):
+        nx = data.draw(st.integers(2, 8))
+        ny = data.draw(st.integers(2, 8))
+        grid = PowerGrid(nx, ny, 1e-3, 1e-3, 0.2)
+        grid.add_feed(
+            data.draw(st.integers(0, nx - 1)),
+            data.draw(st.integers(0, ny - 1)),
+            1.0,
+            data.draw(st.floats(0.01, 2.0)),
+        )
+        n_loads = data.draw(st.integers(1, 5))
+        for _ in range(n_loads):
+            grid.add_load(
+                data.draw(st.integers(0, nx - 1)),
+                data.draw(st.integers(0, ny - 1)),
+                data.draw(st.floats(0.0, 0.05)),
+            )
+        solution = solve_grid(grid)
+        assert solution.max_voltage_v <= 1.0 + 1e-9
+        assert solution.min_voltage_v >= 0.0 - 1e-9  # passive network
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_feed_current_matches_total_load(self, data):
+        nx = data.draw(st.integers(2, 6))
+        grid = PowerGrid(nx, nx, 1e-3, 1e-3, 0.1)
+        grid.add_feed(0, 0, 1.0, 0.1)
+        grid.add_feed(nx - 1, nx - 1, 1.0, 0.1)
+        total = 0.0
+        for _ in range(data.draw(st.integers(1, 6))):
+            current = data.draw(st.floats(0.0, 0.1))
+            grid.add_load(
+                data.draw(st.integers(0, nx - 1)),
+                data.draw(st.integers(0, nx - 1)),
+                current,
+            )
+            total += current
+        solution = solve_grid(grid)
+        assert solution.feed_current_a.sum() == pytest.approx(
+            total, abs=1e-9
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(sheet=st.floats(0.01, 2.0), r_feed=st.floats(0.01, 2.0),
+           load=st.floats(0.001, 0.2))
+    def test_dissipation_nonnegative(self, sheet, r_feed, load):
+        grid = PowerGrid(4, 4, 1e-3, 1e-3, sheet)
+        grid.add_feed(0, 0, 1.0, r_feed)
+        grid.add_load(3, 3, load)
+        solution = solve_grid(grid)
+        assert solution.grid_dissipation_w >= -1e-12

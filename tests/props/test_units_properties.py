@@ -1,0 +1,79 @@
+"""Property-based tests for unit conversions (round-trips, linearity)."""
+
+from hypothesis import given, strategies as st
+import pytest
+
+from repro import units
+
+positive = st.floats(min_value=1e-12, max_value=1e12, allow_nan=False)
+reals = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestRoundTrips:
+    @given(x=positive)
+    def test_mm(self, x):
+        assert units.mm_from_meters(units.meters_from_mm(x)) == pytest.approx(x, rel=1e-12)
+
+    @given(x=positive)
+    def test_um(self, x):
+        assert units.um_from_meters(units.meters_from_um(x)) == pytest.approx(x, rel=1e-12)
+
+    @given(x=positive)
+    def test_ml_min(self, x):
+        assert units.ml_per_min_from_m3s(units.m3s_from_ml_per_min(x)) == pytest.approx(
+            x, rel=1e-12
+        )
+
+    @given(x=positive)
+    def test_ul_min(self, x):
+        assert units.ul_per_min_from_m3s(units.m3s_from_ul_per_min(x)) == pytest.approx(
+            x, rel=1e-12
+        )
+
+    @given(x=positive)
+    def test_bar(self, x):
+        assert units.bar_from_pa(units.pa_from_bar(x)) == pytest.approx(x, rel=1e-12)
+
+    @given(x=positive)
+    def test_current_density(self, x):
+        assert units.ma_cm2_from_a_m2(units.a_m2_from_ma_cm2(x)) == pytest.approx(
+            x, rel=1e-12
+        )
+
+    @given(x=positive)
+    def test_power_density(self, x):
+        assert units.w_cm2_from_w_m2(units.w_m2_from_w_cm2(x)) == pytest.approx(
+            x, rel=1e-12
+        )
+
+    @given(x=reals)
+    def test_temperature(self, x):
+        assert units.celsius_from_kelvin(units.kelvin_from_celsius(x)) == pytest.approx(
+            x, abs=1e-9
+        )
+
+    @given(x=positive)
+    def test_concentration(self, x):
+        assert units.molar_from_mol_m3(units.mol_m3_from_molar(x)) == pytest.approx(
+            x, rel=1e-12
+        )
+
+
+class TestLinearity:
+    @given(x=positive, y=positive)
+    def test_flow_conversion_additive(self, x, y):
+        assert units.m3s_from_ml_per_min(x + y) == pytest.approx(
+            units.m3s_from_ml_per_min(x) + units.m3s_from_ml_per_min(y), rel=1e-12
+        )
+
+    @given(x=positive, k=st.floats(min_value=1e-3, max_value=1e3))
+    def test_pressure_homogeneous(self, x, k):
+        assert units.pa_from_bar(k * x) == pytest.approx(
+            k * units.pa_from_bar(x), rel=1e-12
+        )
+
+    @given(x=reals, y=reals)
+    def test_temperature_differences_preserved(self, x, y):
+        """Temperature *differences* are the same in K and C."""
+        dk = units.kelvin_from_celsius(x) - units.kelvin_from_celsius(y)
+        assert dk == pytest.approx(x - y, abs=1e-9)

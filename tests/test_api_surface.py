@@ -1,0 +1,132 @@
+"""API-surface tests: public exports resolve and modules import cleanly.
+
+Guards against broken ``__all__`` lists and import cycles — cheap tests
+that catch real packaging regressions.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.constants",
+    "repro.units",
+    "repro.errors",
+    "repro.cli",
+    "repro.materials",
+    "repro.materials.properties",
+    "repro.materials.fluid",
+    "repro.materials.species",
+    "repro.materials.electrolyte",
+    "repro.materials.solids",
+    "repro.geometry",
+    "repro.geometry.channel",
+    "repro.geometry.array",
+    "repro.geometry.floorplan",
+    "repro.geometry.power7",
+    "repro.microfluidics",
+    "repro.microfluidics.flow",
+    "repro.microfluidics.hydraulics",
+    "repro.microfluidics.heat_transfer",
+    "repro.microfluidics.mass_transfer",
+    "repro.microfluidics.manifold",
+    "repro.electrochem",
+    "repro.electrochem.nernst",
+    "repro.electrochem.butler_volmer",
+    "repro.electrochem.losses",
+    "repro.electrochem.halfcell",
+    "repro.electrochem.polarization",
+    "repro.electrochem.tafel",
+    "repro.flowcell",
+    "repro.flowcell.cell",
+    "repro.flowcell.planar",
+    "repro.flowcell.porous",
+    "repro.flowcell.fvm",
+    "repro.flowcell.array",
+    "repro.flowcell.recirculation",
+    "repro.pdn",
+    "repro.pdn.grid",
+    "repro.pdn.solver",
+    "repro.pdn.vrm",
+    "repro.pdn.tsv",
+    "repro.pdn.c4",
+    "repro.pdn.power7_pdn",
+    "repro.thermal",
+    "repro.thermal.stack",
+    "repro.thermal.model",
+    "repro.thermal.solver",
+    "repro.thermal.analysis",
+    "repro.thermal.resistance",
+    "repro.cosim",
+    "repro.cosim.coupling",
+    "repro.core",
+    "repro.core.system",
+    "repro.core.metrics",
+    "repro.core.baselines",
+    "repro.core.report",
+    "repro.core.roadmap",
+    "repro.validation",
+    "repro.validation.kjeang2007",
+    "repro.validation.metrics",
+    "repro.casestudy",
+    "repro.casestudy.tables",
+    "repro.casestudy.validation_cell",
+    "repro.casestudy.power7plus",
+    "repro.casestudy.stacked",
+    "repro.casestudy.workloads",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_imports(package):
+    importlib.import_module(package)
+
+
+@pytest.mark.parametrize(
+    "package",
+    [p for p in PACKAGES if p.count(".") == 1 and p not in (
+        "repro.constants", "repro.units", "repro.errors", "repro.cli",
+    )],
+)
+def test_all_entries_resolve(package):
+    """Every name in a subpackage's __all__ must be importable from it."""
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{package} should define __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_module_docstrings_exist():
+    """Every public module carries a docstring (documentation deliverable)."""
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip(), package
+
+
+def test_public_classes_have_docstrings():
+    """Spot-check the main public API objects for doc comments."""
+    from repro.core.system import IntegratedPowerCoolingSystem
+    from repro.flowcell.planar import PlanarColaminarCell
+    from repro.flowcell.porous import FlowThroughPorousCell
+    from repro.thermal.model import ThermalModel
+    from repro.pdn.grid import PowerGrid
+
+    for obj in (
+        IntegratedPowerCoolingSystem, PlanarColaminarCell,
+        FlowThroughPorousCell, ThermalModel, PowerGrid,
+    ):
+        assert obj.__doc__ and obj.__doc__.strip()
+        for attr_name in dir(obj):
+            if attr_name.startswith("_"):
+                continue
+            attr = getattr(obj, attr_name)
+            if callable(attr):
+                assert attr.__doc__, f"{obj.__name__}.{attr_name} lacks a docstring"

@@ -1,0 +1,111 @@
+"""Tests for repro.constants and repro.units."""
+
+import math
+
+import pytest
+
+from repro import constants, units
+
+
+class TestConstants:
+    def test_faraday_value(self):
+        assert constants.FARADAY == pytest.approx(96485.33, abs=0.01)
+
+    def test_gas_constant_value(self):
+        assert constants.GAS_CONSTANT == pytest.approx(8.31446, abs=1e-4)
+
+    def test_thermal_voltage_at_25c(self):
+        # RT/F at 298.15 K is the textbook 25.69 mV.
+        assert constants.thermal_voltage(298.15) == pytest.approx(0.02569, abs=1e-4)
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert constants.thermal_voltage(600.0) == pytest.approx(
+            2.0 * constants.thermal_voltage(300.0)
+        )
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(-1.0)
+
+
+class TestLengthConversions:
+    def test_mm_roundtrip(self):
+        assert units.mm_from_meters(units.meters_from_mm(26.55)) == pytest.approx(26.55)
+
+    def test_um_roundtrip(self):
+        assert units.um_from_meters(units.meters_from_um(150.0)) == pytest.approx(150.0)
+
+    def test_mm_to_meters(self):
+        assert units.meters_from_mm(1.0) == pytest.approx(1e-3)
+
+    def test_um_to_meters(self):
+        assert units.meters_from_um(1.0) == pytest.approx(1e-6)
+
+
+class TestFlowConversions:
+    def test_table2_flow_rate(self):
+        # 676 ml/min is the Table II array flow.
+        q = units.m3s_from_ml_per_min(676.0)
+        assert q == pytest.approx(1.1267e-5, rel=1e-3)
+
+    def test_ul_per_min(self):
+        assert units.m3s_from_ul_per_min(60.0) == pytest.approx(1e-9)
+
+    def test_ml_roundtrip(self):
+        assert units.ml_per_min_from_m3s(units.m3s_from_ml_per_min(48.0)) == pytest.approx(48.0)
+
+    def test_ul_roundtrip(self):
+        assert units.ul_per_min_from_m3s(units.m3s_from_ul_per_min(2.5)) == pytest.approx(2.5)
+
+    def test_ml_is_1000_ul(self):
+        assert units.m3s_from_ml_per_min(1.0) == pytest.approx(
+            1000.0 * units.m3s_from_ul_per_min(1.0)
+        )
+
+
+class TestPressureConversions:
+    def test_bar_roundtrip(self):
+        assert units.bar_from_pa(units.pa_from_bar(1.5)) == pytest.approx(1.5)
+
+    def test_bar_is_1e5_pa(self):
+        assert units.pa_from_bar(1.0) == pytest.approx(1e5)
+
+    def test_gradient_conversion(self):
+        # 1.5 bar/cm = 1.5e7 Pa/m.
+        assert units.bar_per_cm_from_pa_per_m(1.5e7) == pytest.approx(1.5)
+
+
+class TestCurrentDensityConversions:
+    def test_ma_cm2_to_si(self):
+        assert units.a_m2_from_ma_cm2(1.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        assert units.ma_cm2_from_a_m2(units.a_m2_from_ma_cm2(42.0)) == pytest.approx(42.0)
+
+    def test_power_density(self):
+        assert units.w_m2_from_w_cm2(26.7) == pytest.approx(26.7e4)
+        assert units.w_cm2_from_w_m2(26.7e4) == pytest.approx(26.7)
+
+
+class TestTemperatureConversions:
+    def test_zero_celsius(self):
+        assert units.kelvin_from_celsius(0.0) == pytest.approx(273.15)
+
+    def test_table2_inlet(self):
+        assert units.celsius_from_kelvin(300.0) == pytest.approx(26.85)
+
+    def test_roundtrip(self):
+        assert units.celsius_from_kelvin(units.kelvin_from_celsius(41.0)) == pytest.approx(41.0)
+
+
+class TestConcentrationAndViscosity:
+    def test_molar_roundtrip(self):
+        assert units.molar_from_mol_m3(units.mol_m3_from_molar(2.0)) == pytest.approx(2.0)
+
+    def test_molar_to_si(self):
+        assert units.mol_m3_from_molar(2.0) == pytest.approx(2000.0)
+
+    def test_viscosity(self):
+        assert units.pa_s_from_mpa_s(2.53) == pytest.approx(2.53e-3)

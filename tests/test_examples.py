@@ -1,0 +1,66 @@
+"""Smoke tests: the example scripts run and print their headline output.
+
+The fast examples execute end to end; the slower ones are import-checked
+(their heavy lifting is covered by the benches that share their code
+paths).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart.py").main()
+        output = capsys.readouterr().out
+        assert "open-circuit voltage" in output
+        assert "Loss breakdown" in output
+
+    def test_reservoir_endurance(self, capsys):
+        load_example("reservoir_endurance.py").main()
+        output = capsys.readouterr().out
+        assert "Tank sizing" in output
+        assert "SOC" in output
+
+    def test_workload_scenarios(self, capsys):
+        load_example("workload_scenarios.py").main()
+        output = capsys.readouterr().out
+        assert "full load" in output
+        assert "memory bound" in output
+
+
+class TestAllExamplesImportable:
+    ALL_EXAMPLES = (
+        "quickstart.py",
+        "power7_case_study.py",
+        "electrothermal_cosim.py",
+        "design_space_exploration.py",
+        "transient_thermal.py",
+        "reservoir_endurance.py",
+        "stacked_3d_mpsoc.py",
+        "workload_scenarios.py",
+        "concentration_fields.py",
+    )
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_has_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None))
+        assert module.__doc__ and "Run:" in module.__doc__
+
+    def test_example_listing_complete(self):
+        on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == set(self.ALL_EXAMPLES)

@@ -1,0 +1,82 @@
+"""Tests for per-channel coolant-flow allocation."""
+
+import numpy as np
+import pytest
+
+from repro.casestudy.power7plus import (
+    build_array_fluid,
+    build_array_layout,
+    build_thermal_stack,
+    full_load_power_map,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.power7 import build_power7_floorplan
+from repro.materials.solids import SILICON
+from repro.thermal.model import ThermalModel
+from repro.thermal.stack import LayerStack, MicrochannelLayer, SolidLayer
+from repro.units import m3s_from_ml_per_min
+
+NX, NY = 22, 11
+
+
+def build_weighted_model(weights, flow_ml_min=676.0):
+    floorplan = build_power7_floorplan()
+    stack = LayerStack([
+        SolidLayer("active_si", 300e-6, SILICON),
+        MicrochannelLayer(
+            "channels", build_array_layout(), build_array_fluid(),
+            m3s_from_ml_per_min(flow_ml_min), flow_weights=weights,
+        ),
+    ])
+    model = ThermalModel(stack, floorplan.width_m, floorplan.height_m, NX, NY)
+    model.set_power_map("active_si", full_load_power_map(NX, NY, floorplan))
+    return model
+
+
+class TestFlowWeights:
+    def test_uniform_weights_match_default(self):
+        default = build_weighted_model(None).solve_steady()
+        uniform = build_weighted_model(tuple([1.0] * NX)).solve_steady()
+        assert np.allclose(default.temperatures_k, uniform.temperatures_k)
+
+    def test_weights_are_normalised(self):
+        """Scaling all weights by a constant changes nothing."""
+        a = build_weighted_model(tuple([2.0] * NX)).solve_steady()
+        b = build_weighted_model(tuple([0.5] * NX)).solve_steady()
+        assert np.allclose(a.temperatures_k, b.temperatures_k)
+
+    def test_energy_balance_any_allocation(self):
+        rng = np.random.default_rng(7)
+        weights = tuple(rng.uniform(0.2, 2.0, NX))
+        solution = build_weighted_model(weights).solve_steady()
+        assert abs(solution.energy_balance_error_w()) < 1e-6
+
+    def test_starved_column_runs_hotter(self):
+        """Halving one column's flow raises its fluid outlet temperature."""
+        weights = [1.0] * NX
+        weights[NX // 2] = 0.4
+        starved = build_weighted_model(tuple(weights)).solve_steady()
+        even = build_weighted_model(None).solve_steady()
+        column = NX // 2
+        assert (
+            starved.field("channels", "fluid")[-1, column]
+            > even.field("channels", "fluid")[-1, column] + 0.5
+        )
+
+    def test_proportional_allocation_reduces_peak(self):
+        floorplan = build_power7_floorplan()
+        power = full_load_power_map(NX, NY, floorplan)
+        column_power = power.sum(axis=0)
+        proportional = tuple(column_power / column_power.sum())
+        even_peak = build_weighted_model(None, 150.0).solve_steady().peak_celsius
+        prop_peak = build_weighted_model(proportional, 150.0).solve_steady().peak_celsius
+        assert prop_peak < even_peak - 1.0
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ConfigurationError):
+            build_weighted_model(tuple([1.0] * (NX - 1) + [0.0]))
+
+    def test_rejects_wrong_length(self):
+        model = build_weighted_model(tuple([1.0] * (NX - 2)))
+        with pytest.raises(ConfigurationError):
+            model.solve_steady()

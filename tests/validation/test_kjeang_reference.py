@@ -1,0 +1,52 @@
+"""Tests for the frozen reference dataset (Fig. 3 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.validation.kjeang2007 import (
+    KJEANG2007_REFERENCE,
+    reference_curve,
+    reference_flow_rates_ul_min,
+)
+
+
+class TestDatasetShape:
+    def test_four_flow_rates(self):
+        assert reference_flow_rates_ul_min() == (2.5, 10.0, 60.0, 300.0)
+
+    def test_each_curve_has_ten_points(self):
+        for currents, voltages in KJEANG2007_REFERENCE.values():
+            assert len(currents) == len(voltages) == 10
+
+    def test_unknown_flow_rate_raises(self):
+        with pytest.raises(ConfigurationError):
+            reference_curve(42.0)
+
+
+class TestPhysicalPlausibility:
+    def test_ocv_below_nernst(self):
+        """Measured membraneless OCVs sit below the 1.43 V Nernst value."""
+        for q in reference_flow_rates_ul_min():
+            ocv = reference_curve(q).open_circuit_voltage_v
+            assert 1.2 < ocv < 1.43
+
+    def test_limiting_current_grows_with_flow(self):
+        maxima = [reference_curve(q).max_current_a for q in reference_flow_rates_ul_min()]
+        assert all(a < b for a, b in zip(maxima, maxima[1:]))
+
+    def test_cube_root_flow_scaling(self):
+        """I_lim(300)/I_lim(2.5) should be near (120)^(1/3) = 4.93."""
+        low = reference_curve(2.5).max_current_a
+        high = reference_curve(300.0).max_current_a
+        assert high / low == pytest.approx(4.93, rel=0.05)
+
+    def test_magnitudes_match_published_ranges(self):
+        """2.5 uL/min tops out near 11 mA/cm2; 300 uL/min near 54."""
+        assert reference_curve(2.5).max_current_a == pytest.approx(11.0, rel=0.1)
+        assert reference_curve(300.0).max_current_a == pytest.approx(54.0, rel=0.1)
+
+    def test_curves_monotone(self):
+        for q in reference_flow_rates_ul_min():
+            curve = reference_curve(q)
+            assert np.all(np.diff(curve.voltage_v) <= 1e-12)
