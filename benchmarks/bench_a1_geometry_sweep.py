@@ -4,58 +4,38 @@ Sweeps the array channel width (at fixed 100 um walls and fixed total die
 coverage) and reports the trade the paper's outlook discusses: narrower
 channels mean more electrode area and better heat transfer per footprint,
 but quadratically growing pumping power.
+
+Runs on the :mod:`repro.sweep` engine (the ``geometry`` CLI preset is the
+same study over a denser width x flow grid): the design-point construction
+lives in the ``geometry`` evaluator. Pumping is accounted at the paper's
+50 % pump efficiency, so the 200 um column reproduces the 4.4 W figure.
 """
 
 import pytest
 
 from benchmarks.conftest import emit
 from repro.core.report import format_table
-from repro.flowcell.porous import FlowThroughPorousCell
-from repro.casestudy.power7plus import (
-    build_array_spec,
-    build_porous_electrode,
-)
-from repro.flowcell.cell import ColaminarCellSpec
-from repro.geometry.array import ChannelArray
-from repro.geometry.channel import RectangularChannel
-from repro.microfluidics.hydraulics import darcy_pressure_drop, pumping_power
-from repro.units import m3s_from_ml_per_min
+from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
 
-WALL_UM = 100.0
-DIE_SPAN_UM = 88 * 300.0  # footprint reserved for the array
+WIDTH_POINTS_UM = (100.0, 150.0, 200.0, 300.0, 400.0)
 
 
 def sweep_geometry():
     """Vary channel width, keeping wall width and array footprint fixed."""
-    base_spec = build_array_spec()
-    electrode = build_porous_electrode()
-    total_flow = m3s_from_ml_per_min(676.0)
-    rows = []
-    for width_um in (100.0, 150.0, 200.0, 300.0, 400.0):
-        pitch_um = width_um + WALL_UM
-        count = int(DIE_SPAN_UM / pitch_um)
-        channel = RectangularChannel(width_um * 1e-6, 400e-6, 22e-3)
-        layout = ChannelArray(channel, count, pitch_um * 1e-6)
-        spec = ColaminarCellSpec(
-            channel=channel,
-            anolyte=base_spec.anolyte,
-            catholyte=base_spec.catholyte,
-            volumetric_flow_m3_s=total_flow / count,
-        )
-        cell = FlowThroughPorousCell(spec, electrode, n_segments=25)
-        curve = cell.polarization_curve(n_points=30, max_overpotential_v=1.4)
-        array_current = count * (
-            curve.current_at_voltage(1.0)
-            if curve.voltage_v[0] > 1.0 > curve.voltage_v[-1]
-            else 0.0
-        )
-        dp = darcy_pressure_drop(
-            channel, spec.anolyte.fluid, total_flow / count,
-            electrode.permeability_m2,
-        )
-        pump = pumping_power(dp, total_flow)
-        rows.append([width_um, count, array_current, array_current * 1.0, pump])
-    return rows
+    grid = SweepGrid.from_dict({"channel_width_um": WIDTH_POINTS_UM})
+    results = SweepRunner().run(
+        grid.expand(ScenarioSpec(evaluator="geometry", wall_width_um=100.0))
+    )
+    return [
+        [
+            r.spec.channel_width_um,
+            int(r.metrics["channel_count"]),
+            r.metrics["array_current_a"],
+            r.metrics["generated_w"],
+            r.metrics["pumping_w"],
+        ]
+        for r in results
+    ]
 
 
 def test_a1_geometry_sweep(benchmark):

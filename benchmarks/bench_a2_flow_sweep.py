@@ -5,35 +5,35 @@ peak die temperature (cooling), array power at 1 V (generation) and pumping
 power (cost). Exposes the net-energy optimum and the thermal constraint
 that bounds how far the flow can be reduced — the trade-off behind the
 paper's 48 ml/min stress scenario.
+
+Runs on the :mod:`repro.sweep` engine (the ``flow`` CLI preset is the same
+study densified): the loop body lives in the ``operating_point`` evaluator.
 """
 
 import pytest
 
 from benchmarks.conftest import emit
-from repro.casestudy.power7plus import (
-    array_pumping_power_w,
-    build_array,
-    build_thermal_model,
-)
 from repro.core.report import format_table
+from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
 
 FLOW_POINTS_ML_MIN = (48.0, 150.0, 338.0, 676.0, 1352.0)
 
 
 def sweep_flow():
-    rows = []
-    for flow in FLOW_POINTS_ML_MIN:
-        thermal = build_thermal_model(nx=44, ny=22, total_flow_ml_min=flow)
-        peak_c = thermal.solve_steady().peak_celsius
-        array = build_array(total_flow_ml_min=flow, n_points=40)
-        curve = array.curve
-        if curve.voltage_v[0] > 1.0 > curve.voltage_v[-1]:
-            generated = array.power_at_voltage(1.0)
-        else:
-            generated = 0.0
-        pump = array_pumping_power_w(flow)
-        rows.append([flow, peak_c, generated, pump, generated - pump])
-    return rows
+    grid = SweepGrid.from_dict({"total_flow_ml_min": FLOW_POINTS_ML_MIN})
+    results = SweepRunner().run(
+        grid.expand(ScenarioSpec(evaluator="operating_point"))
+    )
+    return [
+        [
+            r.spec.total_flow_ml_min,
+            r.metrics["peak_temperature_c"],
+            r.metrics["generated_w"],
+            r.metrics["pumping_w"],
+            r.metrics["net_w"],
+        ]
+        for r in results
+    ]
 
 
 def test_a2_flow_sweep(benchmark):

@@ -6,35 +6,34 @@ energy-proportionality motivation implies: full load, memory-bound
 and idle. Under the integrated cooling none of them comes near the 85 C
 limit — the dark-silicon constraint is gone at every operating point, not
 just the corner the paper plots.
+
+Runs on the :mod:`repro.sweep` engine (the ``workloads`` CLI preset adds a
+flow axis to the same study): the scenario thermal solve lives in the
+``workload`` evaluator.
 """
 
 import pytest
 
 from benchmarks.conftest import emit
-from repro.casestudy.power7plus import build_thermal_stack
-from repro.casestudy.workloads import standard_workloads
+from repro.casestudy.workloads import WORKLOAD_NAMES
 from repro.core.report import format_table
-from repro.geometry.power7 import build_power7_floorplan
-from repro.thermal.model import ThermalModel
-from repro.thermal.resistance import junction_to_inlet_resistance_k_w
+from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
 
 
 def sweep_workloads():
-    floorplan = build_power7_floorplan()
-    rows = []
-    for workload in standard_workloads():
-        model = ThermalModel(
-            build_thermal_stack(), floorplan.width_m, floorplan.height_m, 44, 22
-        )
-        model.set_power_map("active_si", workload.power_map(44, 22, floorplan))
-        solution = model.solve_steady()
-        rows.append([
-            workload.name,
-            model.total_power_w(),
-            solution.peak_celsius,
-            junction_to_inlet_resistance_k_w(solution, model),
-        ])
-    return rows
+    grid = SweepGrid.from_dict({"workload": WORKLOAD_NAMES})
+    results = SweepRunner().run(
+        grid.expand(ScenarioSpec(evaluator="workload"))
+    )
+    return [
+        [
+            r.spec.workload,
+            r.metrics["total_power_w"],
+            r.metrics["peak_temperature_c"],
+            r.metrics["r_junction_inlet_k_w"],
+        ]
+        for r in results
+    ]
 
 
 def test_a8_workload_scenarios(benchmark):

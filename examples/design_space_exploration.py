@@ -2,94 +2,60 @@
 
 The paper's outlook asks how far the technology can be pushed. This script
 sweeps the two main design knobs — channel width (at fixed wall width) and
-total flow rate — and maps the feasible region: cache demand met, junction
-below 85 C, and positive net energy (generation minus pumping).
+total flow rate — through the :mod:`repro.sweep` engine and maps the
+feasible region: cache demand met, junction below 85 C, and positive net
+energy (generation minus pumping at the paper's 50 % pump efficiency).
+
+The same study runs from the shell, denser and in parallel, as
+``python -m repro sweep geometry --points 48 --jobs 4``.
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro.casestudy.power7plus import (
-    build_array_spec,
-    build_porous_electrode,
-    build_thermal_model,
-)
 from repro.core.report import format_table
-from repro.flowcell.cell import ColaminarCellSpec
-from repro.flowcell.porous import FlowThroughPorousCell
-from repro.geometry.channel import RectangularChannel
-from repro.microfluidics.hydraulics import darcy_pressure_drop, pumping_power
-from repro.units import m3s_from_ml_per_min
-
-WALL_UM = 100.0
-SPAN_UM = 88 * 300.0
-CACHE_DEMAND_W = 5.0
-T_LIMIT_C = 85.0
-
-
-def evaluate_design(width_um: float, flow_ml_min: float) -> "list[object]":
-    """One design point: generation, pumping, peak temperature, verdict."""
-    base = build_array_spec()
-    electrode = build_porous_electrode()
-    pitch_um = width_um + WALL_UM
-    count = int(SPAN_UM / pitch_um)
-    channel = RectangularChannel(width_um * 1e-6, 400e-6, 22e-3)
-    total_flow = m3s_from_ml_per_min(flow_ml_min)
-    spec = ColaminarCellSpec(
-        channel=channel,
-        anolyte=base.anolyte,
-        catholyte=base.catholyte,
-        volumetric_flow_m3_s=total_flow / count,
-    )
-    cell = FlowThroughPorousCell(spec, electrode, n_segments=20)
-    curve = cell.polarization_curve(n_points=25, max_overpotential_v=1.4)
-    if curve.voltage_v[0] > 1.0 > curve.voltage_v[-1]:
-        generated = count * curve.power_at_voltage(1.0)
-    else:
-        generated = 0.0
-    pump = pumping_power(
-        darcy_pressure_drop(
-            channel, spec.anolyte.fluid, total_flow / count,
-            electrode.permeability_m2,
-        ),
-        total_flow,
-    )
-    # Thermal check at reduced resolution (same stack, scaled flow).
-    thermal = build_thermal_model(nx=44, ny=22, total_flow_ml_min=flow_ml_min)
-    peak_c = thermal.solve_steady().peak_celsius
-
-    feasible = (
-        generated >= CACHE_DEMAND_W
-        and peak_c <= T_LIMIT_C
-        and generated - pump > 0.0
-    )
-    return [
-        width_um, flow_ml_min, count, generated, pump, peak_c,
-        "OK" if feasible else "--",
-    ]
+from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
+from repro.sweep.evaluators import CACHE_DEMAND_W, TEMPERATURE_LIMIT_C
 
 
 def main() -> None:
-    rows = []
-    for width_um in (150.0, 200.0, 300.0):
-        for flow in (169.0, 338.0, 676.0, 1352.0):
-            rows.append(evaluate_design(width_um, flow))
+    grid = SweepGrid.from_dict({
+        "channel_width_um": (150.0, 200.0, 300.0),
+        "total_flow_ml_min": (169.0, 338.0, 676.0, 1352.0),
+    })
+    results = SweepRunner().run(
+        grid.expand(ScenarioSpec(evaluator="geometry", wall_width_um=100.0))
+    )
+
+    rows = [
+        [
+            r.spec.channel_width_um,
+            r.spec.total_flow_ml_min,
+            int(r.metrics["channel_count"]),
+            r.metrics["generated_w"],
+            r.metrics["pumping_w"],
+            r.metrics["peak_temperature_c"],
+            "OK" if r.metrics["feasible"] else "--",
+        ]
+        for r in results
+    ]
 
     print("Design space: channel width x total flow")
     print(f"(feasible = >= {CACHE_DEMAND_W} W generated at 1 V, "
-          f"peak <= {T_LIMIT_C} C, net energy > 0)\n")
+          f"peak <= {TEMPERATURE_LIMIT_C} C, net energy > 0)\n")
     print(format_table(
         ["w [um]", "flow [ml/min]", "N", "P_gen [W]", "P_pump [W]",
          "peak T [C]", "feasible"],
         rows, precision=3,
     ))
-    feasible = [r for r in rows if r[-1] == "OK"]
-    print(f"\n{len(feasible)} of {len(rows)} design points are feasible.")
+    feasible = [r for r in results if r.metrics["feasible"]]
+    print(f"\n{len(feasible)} of {len(results)} design points are feasible.")
     if feasible:
-        best = max(feasible, key=lambda r: r[3] - r[4])
+        best = max(feasible, key=lambda r: r.metrics["net_w"])
         print(
-            f"Best net energy: w = {best[0]:g} um at {best[1]:g} ml/min "
-            f"(net {best[3] - best[4]:.2f} W) — the paper's Table II point "
-            "(200 um, 676 ml/min) sits inside the feasible region."
+            f"Best net energy: w = {best.spec.channel_width_um:g} um at "
+            f"{best.spec.total_flow_ml_min:g} ml/min "
+            f"(net {best.metrics['net_w']:.2f} W) — the paper's Table II "
+            "point (200 um, 676 ml/min) sits inside the feasible region."
         )
 
 

@@ -17,6 +17,8 @@ electric power for the die it cools. Subpackages:
 - :mod:`repro.core` — integrated system facade and bright-silicon metrics.
 - :mod:`repro.validation` — reference data and comparison metrics.
 - :mod:`repro.casestudy` — Table I / Table II configurations.
+- :mod:`repro.sweep` — batch scenario-sweep engine (grids, memoization,
+  process parallelism, CSV/JSON export).
 """
 
 __version__ = "1.0.0"

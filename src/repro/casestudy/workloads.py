@@ -123,6 +123,16 @@ def idle() -> Workload:
     )
 
 
+#: Names of the standard scenarios, importable without constructing them
+#: (building ``half_dark`` requires the floorplan).
+WORKLOAD_NAMES = ("full load", "memory bound", "half dark", "idle")
+
+
 def standard_workloads() -> "tuple[Workload, ...]":
     """The scenario set used by the workload bench and example."""
-    return (full_load(), memory_bound(), half_dark(), idle())
+    workloads = (full_load(), memory_bound(), half_dark(), idle())
+    if tuple(w.name for w in workloads) != WORKLOAD_NAMES:
+        raise ConfigurationError(
+            "WORKLOAD_NAMES is out of sync with standard_workloads()"
+        )
+    return workloads

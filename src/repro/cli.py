@@ -6,10 +6,13 @@ Gives the reproduction a zero-code entry point:
   numbers side by side with ours);
 - ``fig3`` / ``fig7`` / ``fig8`` / ``fig9`` — regenerate one artifact and
   print its series/map;
-- ``cosim``   — the Section III-B coupling scenarios (slow).
+- ``cosim``   — the Section III-B coupling scenarios (slow);
+- ``sweep``   — batch design-space exploration through the
+  :mod:`repro.sweep` engine (named presets, process parallelism,
+  CSV/JSON export).
 
 Every command is a thin wrapper over the public API, so the CLI doubles as
-usage documentation.
+usage documentation; ``docs/cli.md`` walks through each one.
 """
 
 from __future__ import annotations
@@ -117,13 +120,41 @@ def _cmd_cosim(_: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS = {
-    "summary": _cmd_summary,
-    "fig3": _cmd_fig3,
-    "fig7": _cmd_fig7,
-    "fig8": _cmd_fig8,
-    "fig9": _cmd_fig9,
-    "cosim": _cmd_cosim,
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepCache, SweepRunner, get_preset
+
+    preset = get_preset(args.preset)
+    specs = preset.expand(args.points)
+    runner = SweepRunner(
+        n_workers=args.jobs, cache=SweepCache(directory=args.cache_dir)
+    )
+    results = runner.run(specs)
+
+    print(
+        f"sweep '{preset.name}' — {preset.description}\n"
+        f"{len(specs)} scenarios through the {preset.base.evaluator!r} "
+        f"evaluator ({args.jobs} worker{'s' if args.jobs != 1 else ''})\n"
+    )
+    print(results.table())
+    print(
+        f"\nevaluated in {results.total_elapsed_s:.2f} s of worker time "
+        f"({runner.cache.hits} cache hit(s), {runner.cache.misses} miss(es))"
+    )
+    if args.csv:
+        print(f"CSV written to {results.save_csv(args.csv)}")
+    if args.json:
+        print(f"JSON written to {results.save_json(args.json)}")
+    return 0
+
+
+#: Simple artifact commands (no options of their own).
+_ARTIFACT_COMMANDS = {
+    "summary": (_cmd_summary, "joint case-study evaluation vs the paper"),
+    "fig3": (_cmd_fig3, "validation-cell polarization vs Kjeang 2007"),
+    "fig7": (_cmd_fig7, "88-channel array V-I curve"),
+    "fig8": (_cmd_fig8, "cache PDN voltage map"),
+    "fig9": (_cmd_fig9, "full-load thermal map"),
+    "cosim": (_cmd_cosim, "Section III-B coupling scenarios (slow)"),
 }
 
 
@@ -133,16 +164,61 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Integrated Microfluidic Power "
         "Generation and Cooling for Bright Silicon MPSoCs' (DATE 2014).",
     )
-    parser.add_argument(
-        "command", choices=sorted(_COMMANDS), help="artifact to regenerate"
+    commands = parser.add_subparsers(
+        dest="command", required=True, metavar="command"
     )
+    for name, (handler, help_text) in _ARTIFACT_COMMANDS.items():
+        sub = commands.add_parser(name, help=help_text)
+        sub.set_defaults(handler=handler)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="batch design-space sweep (see docs/cli.md)",
+        description="Expand a named preset grid into scenarios and run "
+        "them through the sweep engine.",
+    )
+    # Preset names are validated by get_preset at run time (caught in
+    # main), not via choices=: importing repro.sweep here would put the
+    # whole model stack on every CLI invocation's startup path.
+    sweep.add_argument(
+        "preset",
+        help="which design study to run: flow, geometry, vrm, "
+        "workloads or cosim",
+    )
+    sweep.add_argument(
+        "--points", type=int, default=None, metavar="N",
+        help="grid density: expand to at least N scenarios "
+        "(default: the preset's own)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool size; 1 runs in-process (default)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist per-scenario results as JSON under DIR and reuse "
+        "them on later runs",
+    )
+    sweep.add_argument(
+        "--csv", default=None, metavar="PATH", help="export records as CSV"
+    )
+    sweep.add_argument(
+        "--json", default=None, metavar="PATH", help="export records as JSON"
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.errors import ConfigurationError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return args.handler(args)
+    except ConfigurationError as error:
+        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - thin wrapper

@@ -4,14 +4,21 @@ Reproducibility plumbing: every experiment configuration and result in the
 library is a (frozen) dataclass, so one generic encoder covers them all.
 Supports nested dataclasses, numpy arrays/scalars, enums and the basic
 containers; output is plain JSON so runs can be archived and diffed.
+
+Flat record tables (one dict per row, as produced by
+:meth:`repro.sweep.runner.SweepResults.records`) additionally round-trip
+through CSV via :func:`save_csv` / :func:`load_csv`.
 """
 
 from __future__ import annotations
 
+import csv
 import dataclasses
 import enum
 import json
+import re
 from pathlib import Path
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -66,6 +73,93 @@ def save_json(value: object, path: "str | Path") -> Path:
 def load_json(path: "str | Path") -> object:
     """Read back a JSON file written by :func:`save_json`."""
     return json.loads(Path(path).read_text())
+
+
+def save_csv(
+    records: "Sequence[Mapping[str, object]]",
+    path: "str | Path",
+    columns: "Sequence[str] | None" = None,
+) -> Path:
+    """Write flat records as CSV; returns the path written.
+
+    Columns default to the union of record keys in first-appearance order;
+    an explicit ``columns`` subset projects the records (extra keys are
+    dropped, whatever their type). Written values must be scalars
+    (numbers, bools, strings, or None — which becomes an empty cell);
+    nested structures belong in JSON via :func:`save_json`.
+    """
+    rows = [dict(record) for record in records]
+    if columns is None:
+        ordered: "dict[str, None]" = {}
+        for row in rows:
+            for key in row:
+                ordered.setdefault(key)
+        columns = list(ordered)
+    for row in rows:
+        for key in columns:
+            value = row.get(key)
+            if isinstance(value, (np.floating, np.integer, np.bool_)):
+                row[key] = value.item()
+            elif value is not None and not isinstance(
+                value, (bool, int, float, str)
+            ):
+                raise ConfigurationError(
+                    f"CSV cells must be scalars, got {type(value).__name__} "
+                    f"in column {key!r}; use save_json for nested data"
+                )
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=list(columns), restval="",
+            extrasaction="ignore",
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+#: Canonical integer form as str() emits it: no underscores, no leading
+#: zeros — so string cells that merely *look* numeric ("2024_01", "007")
+#: survive the round-trip as strings.
+_CANONICAL_INT = re.compile(r"(?:0|-?[1-9][0-9]*)\Z")
+
+
+def _parse_csv_cell(text: str) -> object:
+    """Scalar coercion inverting :func:`save_csv`'s str().
+
+    Only canonical numeric spellings coerce (what ``str`` produces for
+    int/float, including ``nan``/``inf``); other cells stay strings.
+    Empty cells stay empty strings (CSV cannot distinguish None from
+    ``""``; records that need None belong in JSON).
+    """
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    if _CANONICAL_INT.match(text):
+        return int(text)
+    try:
+        value = float(text)
+    except ValueError:
+        return text
+    # Coerce only exact float spellings ("1.5", "1e-05", "nan"): repr is
+    # what str() wrote, so "007"/"1.50"-style cells stay strings.
+    return value if repr(value) == text else text
+
+
+def load_csv(path: "str | Path") -> "list[dict[str, object]]":
+    """Read back a CSV written by :func:`save_csv`.
+
+    Cells are coerced to int/float/bool where they parse as such (floats
+    round-trip exactly — ``str`` emits the shortest repr); other cells
+    stay strings. A None written by :func:`save_csv` comes back as ``""``
+    (CSV cannot represent the difference).
+    """
+    with Path(path).open(newline="") as handle:
+        return [
+            {key: _parse_csv_cell(value) for key, value in row.items()}
+            for row in csv.DictReader(handle)
+        ]
 
 
 def evaluation_record(evaluation, label: str = "") -> "dict[str, object]":

@@ -1,0 +1,56 @@
+"""Batch scenario-sweep engine.
+
+Declarative design-space exploration over the integrated system: a
+:class:`ScenarioSpec` names one operating point, a :class:`SweepGrid`
+expands parameter axes into scenario batches, and a :class:`SweepRunner`
+evaluates them — deduplicated, memoized via :class:`SweepCache`, optionally
+in parallel over a process pool — into :class:`SweepResult` records that
+export to CSV/JSON through :mod:`repro.io`.
+
+Typical use::
+
+    from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
+
+    grid = SweepGrid.from_dict({"total_flow_ml_min": [48.0, 338.0, 676.0]})
+    results = SweepRunner().run(grid.expand(ScenarioSpec()))
+    print(results.table())
+
+or, from the shell, ``python -m repro sweep flow --points 100``.
+"""
+
+from repro.sweep.evaluators import (
+    evaluate_spec,
+    evaluator_names,
+    get_evaluator,
+    register_evaluator,
+)
+from repro.sweep.presets import (
+    PRESETS,
+    SweepPreset,
+    get_preset,
+    preset_names,
+)
+from repro.sweep.runner import (
+    SweepCache,
+    SweepResult,
+    SweepResults,
+    SweepRunner,
+)
+from repro.sweep.spec import ScenarioSpec, SweepGrid
+
+__all__ = [
+    "PRESETS",
+    "ScenarioSpec",
+    "SweepCache",
+    "SweepGrid",
+    "SweepPreset",
+    "SweepResult",
+    "SweepResults",
+    "SweepRunner",
+    "evaluate_spec",
+    "evaluator_names",
+    "get_evaluator",
+    "get_preset",
+    "preset_names",
+    "register_evaluator",
+]

@@ -1,0 +1,332 @@
+"""Evaluators: one :class:`~repro.sweep.spec.ScenarioSpec` -> metrics dict.
+
+Each evaluator is a module-level function (picklable by reference, so the
+process-pool path of :class:`~repro.sweep.runner.SweepRunner` works) that
+maps a spec to a flat ``{metric_name: number}`` dict. They wrap the same
+calibrated builders the benchmarks and examples use, so sweep results match
+the hand-rolled loops they replaced:
+
+- ``operating_point`` — thermal peak, generation at the terminal voltage,
+  pumping cost and net energy (bench A2's loop body).
+- ``geometry`` — channel-width/wall design point at fixed array footprint
+  (bench A1 and the design-space example).
+- ``vrm`` — regulator technology comparison at one array tap (bench A3).
+- ``cosim`` — full electro-thermal fixed-point run (Section III-B).
+- ``workload`` — named workload scenario thermal state (bench A8).
+
+The electrochemical models in ``operating_point``, ``geometry`` and ``vrm``
+are isothermal at the 300 K reference, as in the benches they mirror;
+``inlet_temperature_k`` shifts only the thermal model there. Use the
+``cosim`` evaluator when the temperature feedback on generation matters.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict
+
+from repro.casestudy.tables import PAPER_ANCHORS, TABLE2
+from repro.errors import ConfigurationError
+from repro.sweep.spec import VRM_NAMES, ScenarioSpec
+
+#: Die span reserved for the channel array in the geometry study
+#: (88 nominal channels at 300 um pitch).
+ARRAY_SPAN_UM = TABLE2["channel_count"] * TABLE2["channel_pitch_um"]
+
+#: Junction temperature limit used for feasibility verdicts [C].
+TEMPERATURE_LIMIT_C = 85.0
+
+#: Cache power demand the feasibility verdicts compare against [W]
+#: (the paper's explicit 5 A at 1 V).
+CACHE_DEMAND_W = (
+    PAPER_ANCHORS["cache_current_requirement_a"]
+    * PAPER_ANCHORS["cache_supply_voltage_v"]
+)
+
+Evaluator = Callable[[ScenarioSpec], "dict[str, float]"]
+
+_REGISTRY: "Dict[str, Evaluator]" = {}
+
+
+def register_evaluator(name: str) -> "Callable[[Evaluator], Evaluator]":
+    """Decorator registering an evaluator under ``name``."""
+
+    def decorate(fn: Evaluator) -> Evaluator:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"evaluator {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def evaluator_names() -> "tuple[str, ...]":
+    """Registered evaluator names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_evaluator(name: str) -> Evaluator:
+    """Look up an evaluator; raises with the available names listed."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown evaluator {name!r}; available: {evaluator_names()}"
+        ) from None
+
+
+def evaluate_spec(spec: ScenarioSpec) -> "dict[str, float]":
+    """Dispatch a spec to its registered evaluator.
+
+    Convenience for evaluating single scenarios directly; the runner
+    resolves evaluator callables itself (in the parent process) and does
+    not go through this function.
+    """
+    return get_evaluator(spec.evaluator)(spec)
+
+
+# -- shared pieces ---------------------------------------------------------------
+
+
+def _current_at(curve, voltage_v: float) -> float:
+    """Current at a terminal voltage, 0 outside the sampled curve range."""
+    if float(curve.voltage_v[0]) > voltage_v > float(curve.voltage_v[-1]):
+        return float(curve.current_at_voltage(voltage_v))
+    return 0.0
+
+
+@lru_cache(maxsize=64)
+def _peak_temperature_c(
+    total_flow_ml_min: float,
+    inlet_temperature_k: float,
+    utilization: float,
+    nx: int,
+    ny: int,
+) -> float:
+    """Memoized full-load steady peak: the thermal state is independent of
+    the electrical knobs, so grids that vary only geometry/voltage/VRM
+    solve each coolant point once per process."""
+    from repro.casestudy.power7plus import build_thermal_model
+
+    model = build_thermal_model(
+        nx=nx,
+        ny=ny,
+        total_flow_ml_min=total_flow_ml_min,
+        inlet_temperature_k=inlet_temperature_k,
+        utilization=utilization,
+    )
+    return model.solve_steady().peak_celsius
+
+
+@lru_cache(maxsize=16)
+def _array(total_flow_ml_min: float, n_points: int = 40):
+    """Memoized Fig. 7 array model: the polarization curve depends only on
+    the flow rate, so grids varying voltage/VRM at fixed flow solve it
+    once per process. Callers must treat the returned array as read-only.
+    """
+    from repro.casestudy.power7plus import build_array
+
+    return build_array(
+        total_flow_ml_min=total_flow_ml_min, n_points=n_points
+    )
+
+
+def build_vrm(name: str, input_v: float):
+    """Instantiate a regulator model by short name for a 1 V output rail."""
+    from repro.pdn.vrm import BuckVRM, IdealVRM, SwitchedCapacitorVRM
+
+    if name == "ideal":
+        return IdealVRM(nominal_output_v=1.0)
+    if name == "sc":
+        return SwitchedCapacitorVRM(input_v=input_v, nominal_output_v=1.0)
+    if name == "buck":
+        return BuckVRM(input_v=input_v, nominal_output_v=1.0)
+    raise ConfigurationError(
+        f"unknown VRM {name!r}; expected one of {VRM_NAMES}"
+    )
+
+
+# -- evaluators ---------------------------------------------------------------------
+
+
+@register_evaluator("operating_point")
+def evaluate_operating_point(spec: ScenarioSpec) -> "dict[str, float]":
+    """Cooling vs generation vs pumping at one coolant operating point."""
+    from repro.casestudy.power7plus import array_pumping_power_w
+
+    peak_c = _peak_temperature_c(
+        spec.total_flow_ml_min, spec.inlet_temperature_k,
+        spec.utilization, spec.nx, spec.ny,
+    )
+
+    array = _array(spec.total_flow_ml_min)
+    current = _current_at(array.curve, spec.operating_voltage_v)
+    generated = current * spec.operating_voltage_v
+
+    vrm = build_vrm(spec.vrm, spec.operating_voltage_v)
+    efficiency = float(getattr(vrm, "efficiency", 1.0))
+    delivered = generated * efficiency
+    pumping = array_pumping_power_w(spec.total_flow_ml_min)
+    return {
+        "peak_temperature_c": peak_c,
+        "array_current_a": current,
+        "generated_w": generated,
+        "vrm_efficiency": efficiency,
+        "delivered_w": delivered,
+        "pumping_w": pumping,
+        "net_w": delivered - pumping,
+        "demand_met": float(delivered >= CACHE_DEMAND_W),
+    }
+
+
+@register_evaluator("geometry")
+def evaluate_geometry(spec: ScenarioSpec) -> "dict[str, float]":
+    """Channel-width design point at fixed array footprint and total flow.
+
+    The channel count follows from the footprint: narrower channels (at
+    the given wall width) mean more of them and more electrode volume, but
+    a quadratically growing Darcy pumping cost.
+    """
+    from repro.casestudy.power7plus import (
+        build_array_spec,
+        build_porous_electrode,
+    )
+    from repro.flowcell.cell import ColaminarCellSpec
+    from repro.flowcell.porous import FlowThroughPorousCell
+    from repro.geometry.channel import RectangularChannel
+    from repro.microfluidics.hydraulics import darcy_pressure_drop, pumping_power
+    from repro.units import (
+        m3s_from_ml_per_min,
+        meters_from_mm,
+        meters_from_um,
+    )
+
+    base = build_array_spec()
+    electrode = build_porous_electrode()
+    pitch_um = spec.channel_width_um + spec.wall_width_um
+    count = int(ARRAY_SPAN_UM / pitch_um)
+    if count < 1:
+        raise ConfigurationError(
+            f"pitch {pitch_um:g} um leaves no channel in the "
+            f"{ARRAY_SPAN_UM:g} um footprint"
+        )
+    channel = RectangularChannel(
+        meters_from_um(spec.channel_width_um),
+        meters_from_um(TABLE2["channel_height_um"]),
+        meters_from_mm(TABLE2["channel_length_mm"]),
+    )
+    total_flow = m3s_from_ml_per_min(spec.total_flow_ml_min)
+    cell_spec = ColaminarCellSpec(
+        channel=channel,
+        anolyte=base.anolyte,
+        catholyte=base.catholyte,
+        volumetric_flow_m3_s=total_flow / count,
+    )
+    cell = FlowThroughPorousCell(cell_spec, electrode, n_segments=25)
+    curve = cell.polarization_curve(n_points=30, max_overpotential_v=1.4)
+    current = count * _current_at(curve, spec.operating_voltage_v)
+    generated = current * spec.operating_voltage_v
+
+    pressure = darcy_pressure_drop(
+        channel, cell_spec.anolyte.fluid, total_flow / count,
+        electrode.permeability_m2,
+    )
+    pumping = pumping_power(
+        pressure, total_flow,
+        pump_efficiency=PAPER_ANCHORS["pump_efficiency"],
+    )
+    peak_c = _peak_temperature_c(
+        spec.total_flow_ml_min, spec.inlet_temperature_k,
+        spec.utilization, spec.nx, spec.ny,
+    )
+
+    feasible = (
+        generated >= CACHE_DEMAND_W
+        and peak_c <= TEMPERATURE_LIMIT_C
+        and generated - pumping > 0.0
+    )
+    return {
+        "channel_count": float(count),
+        "array_current_a": current,
+        "generated_w": generated,
+        "pressure_drop_pa": pressure,
+        "pumping_w": pumping,
+        "net_w": generated - pumping,
+        "peak_temperature_c": peak_c,
+        "feasible": float(feasible),
+    }
+
+
+@register_evaluator("vrm")
+def evaluate_vrm(spec: ScenarioSpec) -> "dict[str, float]":
+    """Regulator technology comparison at one array tap voltage."""
+    array = _array(spec.total_flow_ml_min)
+    current = _current_at(array.curve, spec.operating_voltage_v)
+    array_power = current * spec.operating_voltage_v
+
+    vrm = build_vrm(spec.vrm, spec.operating_voltage_v)
+    efficiency = float(getattr(vrm, "efficiency", 1.0))
+    delivered = array_power * efficiency
+    return {
+        "array_current_a": current,
+        "array_power_w": array_power,
+        "vrm_efficiency": efficiency,
+        "delivered_w": delivered,
+        "converter_area_mm2": vrm.required_area_m2(delivered) * 1e6,
+        "demand_met": float(delivered >= CACHE_DEMAND_W),
+    }
+
+
+@register_evaluator("cosim")
+def evaluate_cosim(spec: ScenarioSpec) -> "dict[str, float]":
+    """Full electro-thermal fixed-point run (slow; Section III-B)."""
+    from repro.cosim import CosimConfig, ElectroThermalCosim
+
+    config = CosimConfig(
+        total_flow_ml_min=spec.total_flow_ml_min,
+        inlet_temperature_k=spec.inlet_temperature_k,
+        operating_voltage_v=spec.operating_voltage_v,
+        nx=spec.nx,
+        ny=spec.ny,
+        n_channel_groups=11,
+    )
+    result = ElectroThermalCosim(config).run()
+    return {
+        "array_current_a": result.array_current_a,
+        "array_power_w": result.array_power_w,
+        "peak_temperature_c": result.peak_temperature_c,
+        "current_gain": result.current_gain,
+        "iterations": float(result.iterations),
+        "converged": float(result.converged),
+    }
+
+
+@register_evaluator("workload")
+def evaluate_workload(spec: ScenarioSpec) -> "dict[str, float]":
+    """Thermal state of one named workload at the coolant operating point."""
+    from repro.casestudy.power7plus import build_thermal_stack
+    from repro.casestudy.workloads import standard_workloads
+    from repro.geometry.power7 import build_power7_floorplan
+    from repro.thermal.model import ThermalModel
+    from repro.thermal.resistance import junction_to_inlet_resistance_k_w
+
+    # Spec validation already pinned the name to WORKLOAD_NAMES, and
+    # standard_workloads() self-checks against the same tuple.
+    workload = {w.name: w for w in standard_workloads()}[spec.workload]
+
+    floorplan = build_power7_floorplan()
+    model = ThermalModel(
+        build_thermal_stack(spec.total_flow_ml_min, spec.inlet_temperature_k),
+        floorplan.width_m, floorplan.height_m, spec.nx, spec.ny,
+    )
+    model.set_power_map(
+        "active_si", workload.power_map(spec.nx, spec.ny, floorplan)
+    )
+    solution = model.solve_steady()
+    return {
+        "total_power_w": model.total_power_w(),
+        "peak_temperature_c": solution.peak_celsius,
+        "r_junction_inlet_k_w": junction_to_inlet_resistance_k_w(
+            solution, model
+        ),
+    }

@@ -1,0 +1,303 @@
+"""Batched execution of scenario sweeps.
+
+:class:`SweepRunner` turns a list of :class:`~repro.sweep.spec.ScenarioSpec`
+(or a :class:`~repro.sweep.spec.SweepGrid`) into
+:class:`SweepResult` records. It deduplicates physically identical specs,
+memoizes evaluations in a :class:`SweepCache` (in-memory, optionally
+persisted to a directory of JSON files keyed on the spec hash), and can
+fan the remaining work out over a ``concurrent.futures`` process pool.
+
+Results come back in input order regardless of worker completion order,
+and the parallel path produces bit-identical metrics to the serial path:
+workers run the same pure evaluator functions on the same specs, so only
+the scheduling differs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sweep.evaluators import Evaluator, get_evaluator
+from repro.sweep.spec import ScenarioSpec, SweepGrid
+
+
+def _timed_evaluate(
+    task: "tuple[Evaluator, ScenarioSpec]",
+) -> "tuple[dict[str, float], float]":
+    """Evaluate one (evaluator, spec) pair, returning (metrics, seconds).
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it by
+    reference. The evaluator callable is resolved in the *parent* and
+    shipped with the spec, so evaluators registered outside
+    :mod:`repro.sweep.evaluators` still work under spawn/forkserver
+    start methods (workers never consult the registry).
+    """
+    evaluator, spec = task
+    start = time.perf_counter()
+    metrics = evaluator(spec)
+    return metrics, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One evaluated scenario."""
+
+    spec: ScenarioSpec
+    metrics: "dict[str, float]"
+    elapsed_s: float
+    from_cache: bool
+
+    def record(self) -> "dict[str, object]":
+        """Flat spec-fields + metrics dict for CSV/JSON export.
+
+        A metric that collides with a spec field name is prefixed with
+        ``metric_`` rather than silently overwriting the input column.
+        """
+        row: "dict[str, object]" = {
+            name: getattr(self.spec, name)
+            for name in self.spec.field_names()
+        }
+        for name, value in self.metrics.items():
+            key = f"metric_{name}" if name in row else name
+            row[key] = value
+        return row
+
+
+class SweepCache:
+    """Memoization store keyed on :meth:`ScenarioSpec.cache_key`.
+
+    Always caches in memory; with ``directory`` set, every evaluation is
+    also written as ``<hash>.json`` so later runs (and parallel runs of
+    different presets sharing points) skip the work entirely.
+    """
+
+    def __init__(self, directory: "str | Path | None" = None) -> None:
+        self._memory: "dict[str, dict[str, float]]" = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> "Path | None":
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> "dict[str, float] | None":
+        metrics = self._memory.get(key)
+        if metrics is None:
+            path = self._path(key)
+            if path is not None and path.is_file():
+                import json
+
+                metrics = json.loads(path.read_text())
+                self._memory[key] = metrics
+        if metrics is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Copy on the way out: a caller mutating a result's metrics must
+        # not corrupt the cache entry.
+        return dict(metrics)
+
+    def put(self, key: str, metrics: "dict[str, float]") -> None:
+        self._memory[key] = dict(metrics)
+        path = self._path(key)
+        if path is not None:
+            import json
+            import os
+
+            # Atomic write: concurrent sweeps sharing the directory must
+            # never observe a truncated JSON file.
+            tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+            tmp.write_text(json.dumps(metrics, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+class SweepResults(Sequence):
+    """Ordered collection of :class:`SweepResult` with export helpers."""
+
+    def __init__(self, results: "Sequence[SweepResult]") -> None:
+        self._results = tuple(results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __getitem__(self, index):
+        picked = self._results[index]
+        if isinstance(index, slice):
+            return SweepResults(picked)
+        return picked
+
+    def __iter__(self) -> "Iterator[SweepResult]":
+        return iter(self._results)
+
+    # -- views -------------------------------------------------------------------
+
+    def records(self) -> "list[dict[str, object]]":
+        """Flat export records, one per scenario, in input order."""
+        return [result.record() for result in self._results]
+
+    def metric(self, name: str) -> "list[float]":
+        """One metric across all scenarios.
+
+        Raises if any result lacks it (mixed-evaluator sweeps share only
+        some metrics); the error lists the metrics common to every
+        result.
+        """
+        try:
+            return [result.metrics[name] for result in self._results]
+        except KeyError:
+            common = set(self._results[0].metrics)
+            for result in self._results[1:]:
+                common &= set(result.metrics)
+            raise ConfigurationError(
+                f"metric {name!r} not present in every result; metrics "
+                f"common to all results: {sorted(common)}"
+            ) from None
+
+    def best(self, metric: str, mode: str = "max") -> SweepResult:
+        """The scenario extremizing one metric."""
+        if mode not in ("max", "min"):
+            raise ConfigurationError("mode must be 'max' or 'min'")
+        if not self._results:
+            raise ConfigurationError("no results to rank")
+        self.metric(metric)  # validate the name with a helpful error
+        pick = max if mode == "max" else min
+        return pick(self._results, key=lambda r: r.metrics[metric])
+
+    def varying_fields(self) -> "list[str]":
+        """Spec fields that take more than one value across the sweep."""
+        names = []
+        for name in ScenarioSpec.field_names():
+            values = {getattr(r.spec, name) for r in self._results}
+            if len(values) > 1:
+                names.append(name)
+        return names
+
+    def table(self, columns: "list[str] | None" = None) -> str:
+        """Aligned text table of the sweep.
+
+        Default columns: the spec fields that actually vary, then every
+        metric (in first-result order).
+        """
+        from repro.core.report import format_table
+
+        if not self._results:
+            return "(empty sweep)"
+        if columns is None:
+            # Metric columns via the record's naming, so metrics that
+            # collide with spec fields show as metric_<name>, matching
+            # the exports.
+            spec_fields = set(ScenarioSpec.field_names())
+            first = self._results[0].record()
+            columns = self.varying_fields() + [
+                key for key in first if key not in spec_fields
+            ]
+        rows = [
+            [record.get(column, "") for column in columns]
+            for record in self.records()
+        ]
+        return format_table(list(columns), rows)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save_csv(self, path: "str | Path") -> Path:
+        """Write the records as CSV; returns the path written."""
+        from repro.io import save_csv
+
+        return save_csv(self.records(), path)
+
+    def save_json(self, path: "str | Path") -> Path:
+        """Write the records as JSON; returns the path written."""
+        from repro.io import save_json
+
+        return save_json(self.records(), path)
+
+    @property
+    def total_elapsed_s(self) -> float:
+        """Summed evaluation wall time (cache hits contribute zero)."""
+        return sum(result.elapsed_s for result in self._results)
+
+
+class SweepRunner:
+    """Executes scenario batches with dedup, memoization and parallelism.
+
+    Parameters
+    ----------
+    n_workers:
+        1 evaluates in-process; >1 fans unique, uncached specs out over a
+        process pool of that size. Results are identical either way.
+    cache:
+        Shared :class:`SweepCache`; defaults to a fresh in-memory cache
+        per runner.
+    """
+
+    def __init__(
+        self, n_workers: int = 1, cache: "SweepCache | None" = None
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.cache = cache if cache is not None else SweepCache()
+
+    def run(
+        self, scenarios: "Sequence[ScenarioSpec] | SweepGrid"
+    ) -> SweepResults:
+        """Evaluate every scenario, returning results in input order."""
+        if isinstance(scenarios, SweepGrid):
+            specs = scenarios.expand()
+        else:
+            specs = list(scenarios)
+        results: "list[SweepResult | None]" = [None] * len(specs)
+
+        # Group physically identical specs, then consult the cache once
+        # per unique key (so in-run duplicates don't inflate the miss
+        # count) and partition into hits and pending work.
+        by_key: "dict[str, list[int]]" = {}
+        for index, spec in enumerate(specs):
+            by_key.setdefault(spec.cache_key(), []).append(index)
+
+        pending: "dict[str, list[int]]" = {}
+        for key, indices in by_key.items():
+            cached = self.cache.get(key)
+            if cached is not None:
+                for index in indices:
+                    results[index] = SweepResult(
+                        specs[index], dict(cached), 0.0, True
+                    )
+            else:
+                # Fail fast on an unknown evaluator before any work runs.
+                get_evaluator(specs[indices[0]].evaluator)
+                pending[key] = indices
+
+        unique = [(key, specs[indices[0]]) for key, indices in pending.items()]
+        tasks = [(get_evaluator(spec.evaluator), spec) for _, spec in unique]
+        if self.n_workers > 1 and len(unique) > 1:
+            workers = min(self.n_workers, len(unique))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                evaluated = list(pool.map(_timed_evaluate, tasks))
+        else:
+            evaluated = [_timed_evaluate(task) for task in tasks]
+
+        for (key, _), (metrics, elapsed) in zip(unique, evaluated):
+            self.cache.put(key, metrics)
+            for repeat, index in enumerate(pending[key]):
+                results[index] = SweepResult(
+                    specs[index],
+                    dict(metrics),
+                    elapsed if repeat == 0 else 0.0,
+                    from_cache=repeat > 0,
+                )
+
+        assert all(result is not None for result in results)
+        return SweepResults(results)  # type: ignore[arg-type]

@@ -1,0 +1,221 @@
+"""Declarative scenario specifications and parameter grids.
+
+A :class:`ScenarioSpec` names one operating point of the integrated
+power-and-cooling system — flow, inlet temperature, channel geometry, VRM
+technology, workload, terminal voltage — plus which evaluator turns it into
+metrics. Specs are frozen dataclasses of plain scalars, so they hash, pickle
+(for process-pool workers), serialize through :mod:`repro.io`, and admit a
+stable content hash for memoization.
+
+A :class:`SweepGrid` is the Cartesian product of named axes over spec
+fields; :meth:`SweepGrid.expand` turns it into the concrete spec list a
+:class:`~repro.sweep.runner.SweepRunner` consumes. Expansion order is
+deterministic (row-major, last axis fastest), so sweep outputs diff cleanly
+across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.casestudy.tables import TABLE2
+from repro.errors import ConfigurationError
+
+#: Spec fields that identify a scenario physically; ``label`` is cosmetic
+#: and deliberately excluded from the memoization key.
+_NON_IDENTITY_FIELDS = frozenset({"label"})
+
+#: Regulator technologies :func:`repro.sweep.evaluators.build_vrm` knows.
+VRM_NAMES = ("ideal", "sc", "buck")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One operating point of the integrated system, ready to evaluate.
+
+    Every field defaults to the Table II nominal design, so a sweep only
+    states the knobs it varies. Which fields matter depends on the
+    ``evaluator`` (see :mod:`repro.sweep.evaluators`): the geometry
+    evaluator reads the channel dimensions, the cosim evaluator reads the
+    coolant point and terminal voltage, and so on; unused fields are
+    simply carried through to the result records.
+
+    Parameters
+    ----------
+    evaluator:
+        Registered evaluator name (``operating_point``, ``geometry``,
+        ``vrm``, ``cosim``, ``workload``).
+    total_flow_ml_min / inlet_temperature_k:
+        Coolant operating point (Table II nominal: 676 ml/min at 300 K).
+    channel_width_um / wall_width_um:
+        Array channel cross-section knobs (geometry evaluator).
+    operating_voltage_v:
+        Array terminal voltage held by the VRMs.
+    vrm:
+        Regulator technology: ``ideal``, ``sc`` or ``buck``.
+    workload:
+        Named workload scenario (workload evaluator); see
+        :func:`repro.casestudy.workloads.standard_workloads`.
+    utilization:
+        Uniform activity scaling in [0, 1] (operating-point evaluator).
+    nx / ny:
+        Thermal raster resolution.
+    label:
+        Free-form tag copied into result records; not part of the
+        scenario's identity hash.
+    """
+
+    evaluator: str = "operating_point"
+    total_flow_ml_min: float = TABLE2["total_flow_ml_min"]
+    inlet_temperature_k: float = TABLE2["inlet_temperature_k"]
+    channel_width_um: float = TABLE2["channel_width_um"]
+    wall_width_um: float = (
+        TABLE2["channel_pitch_um"] - TABLE2["channel_width_um"]
+    )
+    operating_voltage_v: float = 1.0
+    vrm: str = "ideal"
+    workload: str = "full load"
+    utilization: float = 1.0
+    nx: int = 44
+    ny: int = 22
+    label: str = ""
+
+    #: Numeric fields coerced to Python scalars on construction, so specs
+    #: built from numpy values (np.linspace/arange grids) hash, pickle and
+    #: JSON-encode identically to ones built from plain floats/ints.
+    _FLOAT_FIELDS = (
+        "total_flow_ml_min", "inlet_temperature_k", "channel_width_um",
+        "wall_width_um", "operating_voltage_v", "utilization",
+    )
+    _INT_FIELDS = ("nx", "ny")
+
+    def __post_init__(self) -> None:
+        for name in self._FLOAT_FIELDS:
+            object.__setattr__(self, name, float(getattr(self, name)))
+        for name in self._INT_FIELDS:
+            object.__setattr__(self, name, int(getattr(self, name)))
+        if self.total_flow_ml_min <= 0.0:
+            raise ConfigurationError("total flow must be > 0 ml/min")
+        if self.inlet_temperature_k <= 0.0:
+            raise ConfigurationError("inlet temperature must be > 0 K")
+        if self.channel_width_um <= 0.0:
+            raise ConfigurationError("channel width must be > 0 um")
+        if self.wall_width_um < 0.0:
+            raise ConfigurationError("wall width must be >= 0 um")
+        if self.operating_voltage_v <= 0.0:
+            raise ConfigurationError("operating voltage must be > 0 V")
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ConfigurationError("utilization must be in [0, 1]")
+        if self.nx < 2 or self.ny < 2:
+            raise ConfigurationError("thermal raster needs nx, ny >= 2")
+        # The enum-like fields are closed sets; rejecting typos here means
+        # a bad grid fails before any scenario has burned solver time.
+        if self.vrm not in VRM_NAMES:
+            raise ConfigurationError(
+                f"unknown VRM {self.vrm!r}; expected one of {VRM_NAMES}"
+            )
+        from repro.casestudy.workloads import WORKLOAD_NAMES
+
+        if self.workload not in WORKLOAD_NAMES:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; expected one of "
+                f"{WORKLOAD_NAMES}"
+            )
+
+    @classmethod
+    def field_names(cls) -> "tuple[str, ...]":
+        """All spec field names, in declaration order."""
+        return tuple(f.name for f in dataclasses.fields(cls))
+
+    def replace(self, **changes: object) -> "ScenarioSpec":
+        """A copy with the given fields replaced (validated)."""
+        unknown = set(changes) - set(self.field_names())
+        if unknown:
+            raise ConfigurationError(
+                f"unknown spec field(s): {sorted(unknown)}"
+            )
+        return dataclasses.replace(self, **changes)
+
+    def identity(self) -> "dict[str, object]":
+        """The fields that define the scenario physically."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name not in _NON_IDENTITY_FIELDS
+        }
+
+    def cache_key(self) -> str:
+        """Stable content hash for memoization and archive filenames.
+
+        Two specs that differ only in ``label`` share a key; any physical
+        difference (including raster resolution) yields a distinct one.
+        """
+        canonical = json.dumps(self.identity(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Cartesian product of named axes over :class:`ScenarioSpec` fields.
+
+    ``axes`` is an ordered tuple of ``(field_name, values)`` pairs;
+    expansion iterates the product row-major with the *last* axis varying
+    fastest, matching ``itertools.product``.
+    """
+
+    axes: "tuple[tuple[str, tuple[object, ...]], ...]"
+
+    def __post_init__(self) -> None:
+        valid = set(ScenarioSpec.field_names())
+        seen: "set[str]" = set()
+        for name, values in self.axes:
+            if name not in valid:
+                raise ConfigurationError(
+                    f"unknown sweep axis {name!r}; spec fields are "
+                    f"{sorted(valid)}"
+                )
+            if name in seen:
+                raise ConfigurationError(f"duplicate sweep axis {name!r}")
+            seen.add(name)
+            if isinstance(values, str) or not len(values):
+                raise ConfigurationError(
+                    f"axis {name!r} needs a non-empty sequence of values"
+                )
+
+    @classmethod
+    def from_dict(
+        cls, axes: "Mapping[str, Sequence[object]]"
+    ) -> "SweepGrid":
+        """Build a grid from an ``{field: values}`` mapping."""
+        return cls(
+            tuple((name, tuple(values)) for name, values in axes.items())
+        )
+
+    @property
+    def axis_names(self) -> "tuple[str, ...]":
+        return tuple(name for name, _ in self.axes)
+
+    def __len__(self) -> int:
+        size = 1
+        for _, values in self.axes:
+            size *= len(values)
+        return size
+
+    def points(self) -> "Iterator[dict[str, object]]":
+        """Iterate the grid as ``{field: value}`` dicts, row-major."""
+        import itertools
+
+        names = self.axis_names
+        for combo in itertools.product(*(values for _, values in self.axes)):
+            yield dict(zip(names, combo))
+
+    def expand(
+        self, base: "ScenarioSpec | None" = None
+    ) -> "list[ScenarioSpec]":
+        """Concrete spec list: ``base`` with each grid point applied."""
+        base = base if base is not None else ScenarioSpec()
+        return [base.replace(**point) for point in self.points()]

@@ -1,0 +1,218 @@
+"""Tests for the sweep runner: memoization, parallelism, export."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io import load_csv, load_json
+from repro.sweep import (
+    ScenarioSpec,
+    SweepCache,
+    SweepGrid,
+    SweepRunner,
+    register_evaluator,
+)
+
+# A cheap arithmetic evaluator so runner mechanics are tested without
+# physics solves. Registered at import; the in-process (serial) runner
+# path resolves it from the same registry.
+_CALLS = {"count": 0}
+
+
+@register_evaluator("_test_cheap")
+def _cheap(spec):
+    _CALLS["count"] += 1
+    return {
+        "double_flow": 2.0 * spec.total_flow_ml_min,
+        "voltage": spec.operating_voltage_v,
+    }
+
+
+def cheap_specs(*flows):
+    return [
+        ScenarioSpec(evaluator="_test_cheap", total_flow_ml_min=flow)
+        for flow in flows
+    ]
+
+
+class TestRunnerSerial:
+    def test_results_in_input_order(self):
+        results = SweepRunner().run(cheap_specs(676.0, 48.0, 1352.0))
+        assert results.metric("double_flow") == [1352.0, 96.0, 2704.0]
+        assert [r.from_cache for r in results] == [False, False, False]
+
+    def test_accepts_a_grid_directly(self):
+        grid = SweepGrid.from_dict({"utilization": (0.25, 0.75)})
+        # Grid-direct runs expand against the default base spec, whose
+        # evaluator does real physics; use explicit specs for cheap tests.
+        specs = grid.expand(ScenarioSpec(evaluator="_test_cheap"))
+        results = SweepRunner().run(specs)
+        assert [r.spec.utilization for r in results] == [0.25, 0.75]
+
+    def test_duplicate_specs_evaluated_once(self):
+        _CALLS["count"] = 0
+        runner = SweepRunner()
+        results = runner.run(cheap_specs(676.0, 676.0, 676.0))
+        assert _CALLS["count"] == 1
+        assert results.metric("double_flow") == [1352.0] * 3
+        assert [r.from_cache for r in results] == [False, True, True]
+        # In-run duplicates are deduplicated before the cache is
+        # consulted: one miss, not three.
+        assert (runner.cache.hits, runner.cache.misses) == (0, 1)
+
+    def test_labels_do_not_defeat_dedup(self):
+        _CALLS["count"] = 0
+        specs = [
+            ScenarioSpec(evaluator="_test_cheap", label="a"),
+            ScenarioSpec(evaluator="_test_cheap", label="b"),
+        ]
+        SweepRunner().run(specs)
+        assert _CALLS["count"] == 1
+
+    def test_unknown_evaluator_raises(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner().run([ScenarioSpec(evaluator="nope")])
+
+    def test_n_workers_validated(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(n_workers=0)
+
+
+class TestMemoization:
+    def test_second_run_is_all_cache_hits(self):
+        runner = SweepRunner()
+        first = runner.run(cheap_specs(48.0, 676.0))
+        second = runner.run(cheap_specs(48.0, 676.0))
+        assert all(not r.from_cache for r in first)
+        assert all(r.from_cache for r in second)
+        assert all(r.elapsed_s == 0.0 for r in second)
+        assert [r.metrics for r in first] == [r.metrics for r in second]
+
+    def test_disk_cache_shared_across_runners(self, tmp_path):
+        _CALLS["count"] = 0
+        specs = cheap_specs(48.0, 676.0)
+        SweepRunner(cache=SweepCache(directory=tmp_path)).run(specs)
+        assert _CALLS["count"] == 2
+        # A brand-new runner sharing only the directory re-uses everything.
+        fresh = SweepRunner(cache=SweepCache(directory=tmp_path))
+        results = fresh.run(specs)
+        assert _CALLS["count"] == 2
+        assert all(r.from_cache for r in results)
+        assert results.metric("double_flow") == [96.0, 1352.0]
+
+    def test_cache_counts_hits_and_misses(self):
+        runner = SweepRunner()
+        runner.run(cheap_specs(48.0))
+        runner.run(cheap_specs(48.0))
+        assert runner.cache.hits == 1
+        assert runner.cache.misses == 1
+
+    def test_mutating_a_result_does_not_poison_the_cache(self):
+        runner = SweepRunner()
+        first = runner.run(cheap_specs(48.0, 48.0))
+        first[0].metrics["double_flow"] = -1.0
+        assert first[1].metrics["double_flow"] == 96.0
+        assert runner.run(cheap_specs(48.0)).metric("double_flow") == [96.0]
+
+
+class TestParallel:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        # Real evaluator: workers re-import repro.sweep.evaluators, so the
+        # registry must resolve in a fresh process too.
+        specs = [
+            ScenarioSpec(evaluator="vrm", vrm=vrm, operating_voltage_v=v)
+            for vrm in ("ideal", "sc", "buck")
+            for v in (1.0, 1.2)
+        ]
+        serial = SweepRunner(n_workers=1).run(specs)
+        parallel = SweepRunner(n_workers=2).run(specs)
+        assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+        assert serial.records() == parallel.records()
+
+
+class TestResults:
+    def make(self):
+        return SweepRunner().run(cheap_specs(48.0, 676.0, 1352.0))
+
+    def test_sequence_protocol(self):
+        results = self.make()
+        assert len(results) == 3
+        assert results[0].spec.total_flow_ml_min == 48.0
+        assert [r.spec.total_flow_ml_min for r in results[1:]] == [676.0, 1352.0]
+
+    def test_records_flatten_spec_and_metrics(self):
+        record = self.make()[0].record()
+        assert record["total_flow_ml_min"] == 48.0
+        assert record["double_flow"] == 96.0
+        assert record["evaluator"] == "_test_cheap"
+
+    def test_best(self):
+        results = self.make()
+        assert results.best("double_flow").spec.total_flow_ml_min == 1352.0
+        assert results.best("double_flow", mode="min").spec.total_flow_ml_min == 48.0
+        with pytest.raises(ConfigurationError):
+            results.best("double_flow", mode="median")
+        with pytest.raises(ConfigurationError):
+            results.best("nope")
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make().metric("nope")
+
+    def test_partially_present_metric_names_common_set(self):
+        @register_evaluator("_test_other")
+        def _other(spec):
+            return {"voltage": spec.operating_voltage_v, "extra": 1.0}
+
+        results = SweepRunner().run([
+            ScenarioSpec(evaluator="_test_cheap"),
+            ScenarioSpec(evaluator="_test_other"),
+        ])
+        # 'double_flow' exists only in the first result: the error must
+        # list the metrics common to ALL results, not echo the name back.
+        with pytest.raises(ConfigurationError, match=r"common to all.*voltage"):
+            results.metric("double_flow")
+        assert results.metric("voltage") == [1.0, 1.0]
+
+    def test_table_shows_varying_fields_and_metrics(self):
+        table = self.make().table()
+        assert "total_flow_ml_min" in table
+        assert "double_flow" in table
+        # Constant fields are elided from the default view.
+        assert "inlet_temperature_k" not in table
+
+    def test_csv_round_trip(self, tmp_path):
+        results = self.make()
+        path = results.save_csv(tmp_path / "sweep.csv")
+        assert load_csv(path) == results.records()
+
+    def test_csv_preserves_numeric_looking_strings(self, tmp_path):
+        from repro.io import save_csv
+
+        record = {"label": "2024_01", "code": "007", "note": "1.50",
+                  "plus": "+7", "negzero": "-0",
+                  "n": 42, "x": 1.5, "bad": float("nan")}
+        rows = load_csv(save_csv([record], tmp_path / "strings.csv"))
+        assert rows[0]["label"] == "2024_01"
+        assert rows[0]["code"] == "007"
+        assert rows[0]["note"] == "1.50"
+        assert rows[0]["plus"] == "+7"
+        assert rows[0]["negzero"] == "-0"
+        assert rows[0]["n"] == 42 and rows[0]["x"] == 1.5
+        assert rows[0]["bad"] != rows[0]["bad"]  # nan round-trips
+
+    def test_csv_column_projection(self, tmp_path):
+        from repro.io import save_csv
+
+        results = self.make()
+        path = save_csv(
+            results.records(), tmp_path / "narrow.csv",
+            columns=["total_flow_ml_min", "double_flow"],
+        )
+        rows = load_csv(path)
+        assert all(set(row) == {"total_flow_ml_min", "double_flow"} for row in rows)
+        assert [row["double_flow"] for row in rows] == [96.0, 1352.0, 2704.0]
+
+    def test_json_round_trip(self, tmp_path):
+        results = self.make()
+        path = results.save_json(tmp_path / "sweep.json")
+        assert load_json(path) == results.records()
