@@ -6,7 +6,7 @@ Gives the reproduction a zero-code entry point:
   numbers side by side with ours);
 - ``fig3`` / ``fig7`` / ``fig8`` / ``fig9`` — regenerate one artifact and
   print its series/map;
-- ``cosim``   — the Section III-B coupling scenarios (slow);
+- ``cosim``   — the Section III-B coupling scenarios;
 - ``sweep``   — batch design-space exploration through the
   :mod:`repro.sweep` engine (named presets, process parallelism,
   CSV/JSON export).
@@ -154,7 +154,7 @@ _ARTIFACT_COMMANDS = {
     "fig7": (_cmd_fig7, "88-channel array V-I curve"),
     "fig8": (_cmd_fig8, "cache PDN voltage map"),
     "fig9": (_cmd_fig9, "full-load thermal map"),
-    "cosim": (_cmd_cosim, "Section III-B coupling scenarios (slow)"),
+    "cosim": (_cmd_cosim, "Section III-B coupling scenarios"),
 }
 
 
@@ -183,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "preset",
         help="which design study to run: flow, geometry, vrm, "
-        "workloads or cosim",
+        "workloads, cosim or transient",
     )
     sweep.add_argument(
         "--points", type=int, default=None, metavar="N",

@@ -7,12 +7,28 @@ iterates the two models to a fixed point:
 
 1. solve the thermal model (chip power + flow-cell loss heat),
 2. average the coolant temperature over each channel group,
-3. rebuild each group's electrochemical model at its local temperature,
+3. look up each group's current and OCV on the shared
+   :class:`~repro.cosim.surface.PolarizationSurface` at its local
+   temperature,
 4. combine the groups electrically in parallel at the operating voltage,
 5. deposit the cells' polarization-loss heat back into the fluid,
 6. repeat until the channel temperatures settle.
+
+:class:`~repro.cosim.transient.TransientCosim` integrates the same coupled
+system through a workload step, and both draw their curves from the same
+process-wide surface store.
 """
 
 from repro.cosim.coupling import CosimConfig, CosimResult, ElectroThermalCosim
+from repro.cosim.surface import PolarizationSurface, surface_for
+from repro.cosim.transient import TransientCosim, TransientSample
 
-__all__ = ["CosimConfig", "CosimResult", "ElectroThermalCosim"]
+__all__ = [
+    "CosimConfig",
+    "CosimResult",
+    "ElectroThermalCosim",
+    "PolarizationSurface",
+    "TransientCosim",
+    "TransientSample",
+    "surface_for",
+]

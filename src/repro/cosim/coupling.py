@@ -10,18 +10,18 @@ a double-digit power gain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.casestudy.power7plus import (
-    ARRAY_CHANNEL_COUNT,
-    build_array_cell,
-    build_thermal_model,
-)
+from repro.casestudy.power7plus import build_thermal_model
 from repro.casestudy.tables import TABLE2
+from repro.cosim.surface import (
+    DEFAULT_RESOLUTION_K,
+    DEFAULT_TEMPERATURE_RANGE_K,
+    surface_for,
+)
 from repro.errors import ConfigurationError, ConvergenceError
-from repro.flowcell.array import FlowCellArray
 from repro.thermal.solver import ThermalSolution
 
 
@@ -46,6 +46,10 @@ class CosimConfig:
         Whether the cells' own polarization losses are fed back as heat.
     nx / ny:
         Thermal raster (nx should be a multiple of n_channel_groups).
+    surface_temperature_range_k / surface_resolution_k:
+        Window and spacing of the shared
+        :class:`~repro.cosim.surface.PolarizationSurface` the run draws
+        its group curves from (see that module for the accuracy budget).
     """
 
     total_flow_ml_min: float = TABLE2["total_flow_ml_min"]
@@ -58,6 +62,8 @@ class CosimConfig:
     nx: int = 88
     ny: int = 44
     n_curve_points: int = 50
+    surface_temperature_range_k: "tuple[float, float]" = DEFAULT_TEMPERATURE_RANGE_K
+    surface_resolution_k: float = DEFAULT_RESOLUTION_K
 
     def __post_init__(self) -> None:
         if self.n_channel_groups < 1:
@@ -71,6 +77,18 @@ class CosimConfig:
             raise ConfigurationError("need at least one iteration")
         if self.tolerance_k <= 0.0:
             raise ConfigurationError("tolerance must be > 0")
+        if self.surface_resolution_k <= 0.0:
+            raise ConfigurationError("surface resolution must be > 0 K")
+        t_min, t_max = self.surface_temperature_range_k
+        if not t_min < t_max:
+            raise ConfigurationError(
+                "surface temperature range must satisfy min < max"
+            )
+        if not t_min <= self.inlet_temperature_k <= t_max:
+            raise ConfigurationError(
+                f"inlet temperature {self.inlet_temperature_k:g} K outside "
+                f"the surface range ({t_min:g}, {t_max:g}) K"
+            )
 
 
 @dataclass
@@ -94,7 +112,15 @@ class CosimResult:
 
     @property
     def current_gain(self) -> float:
-        """Relative current change vs the isothermal reference."""
+        """Relative current change vs the isothermal reference.
+
+        ``nan`` when the isothermal reference current is zero (operating
+        voltage at or above the isothermal OCV): the relative gain is
+        undefined there, and ``nan`` propagates through downstream
+        arithmetic instead of masquerading as a real gain.
+        """
+        if self.isothermal_current_a == 0.0:
+            return float("nan")
         return self.array_current_a / self.isothermal_current_a - 1.0
 
     @property
@@ -108,39 +134,65 @@ class CosimResult:
         return self.thermal.peak_celsius
 
 
+def group_coolant_temperatures(
+    thermal: ThermalSolution, config: CosimConfig
+) -> np.ndarray:
+    """Mean coolant temperature over each group's channel columns [K].
+
+    The single definition of the group-to-column partition, shared by the
+    steady loop and the transient stepper so the two can never disagree
+    about which channels belong to which group.
+    """
+    fluid = thermal.field("channels", "fluid")
+    groups = config.n_channel_groups
+    columns_per_group = config.nx // groups
+    return np.array([
+        float(fluid[:, g * columns_per_group:(g + 1) * columns_per_group].mean())
+        for g in range(groups)
+    ])
+
+
 class ElectroThermalCosim:
-    """Coupled flow-cell / thermal simulation of the POWER7+ case study."""
+    """Coupled flow-cell / thermal simulation of the POWER7+ case study.
+
+    Group polarization data comes from the shared
+    :class:`~repro.cosim.surface.PolarizationSurface` (one interpolation
+    per group per iteration instead of a full curve construction), and the
+    thermal model persists across :meth:`run` calls so its sparse
+    factorization is reused — repeated runs of the same configuration cost
+    a handful of triangular solves.
+    """
 
     def __init__(self, config: CosimConfig = CosimConfig()) -> None:
         self.config = config
+        self._model = None
+        self._model_config: "CosimConfig | None" = None
 
     # -- building blocks -----------------------------------------------------
 
-    def _group_curve(self, temperature_k: float):
-        """Polarization curve of the channels of one group at temperature."""
-        cell = build_array_cell(
-            total_flow_ml_min=self.config.total_flow_ml_min,
-            temperature_k=temperature_k,
-            temperature_dependent=True,
-        )
-        channels_per_group = ARRAY_CHANNEL_COUNT // self.config.n_channel_groups
-        return cell.polarization_curve(
-            n_points=self.config.n_curve_points, max_overpotential_v=1.4
-        ).scaled(channels_per_group)
+    @property
+    def _surface(self):
+        """Resolved per access (a dict lookup on the shared store), so
+        rebinding ``self.config`` between runs is honored."""
+        return surface_for(self.config)
 
-    def _group_current(self, curve, voltage: float) -> float:
-        """Group current at the terminal voltage (0 if OCV below it)."""
-        return FlowCellArray.combine_at_voltage([curve], voltage)
+    def _thermal_model(self):
+        """The persistent thermal model (cell-heat map reset per run).
+
+        Rebuilt if ``self.config`` was rebound since the last run; the
+        config itself is frozen, so equality is the full staleness check.
+        """
+        if self._model is None or self._model_config != self.config:
+            self._model = build_thermal_model(
+                nx=self.config.nx, ny=self.config.ny,
+                total_flow_ml_min=self.config.total_flow_ml_min,
+                inlet_temperature_k=self.config.inlet_temperature_k,
+            )
+            self._model_config = self.config
+        return self._model
 
     def _group_temperatures(self, thermal: ThermalSolution) -> np.ndarray:
-        """Mean coolant temperature over each group's channel columns [K]."""
-        fluid = thermal.field("channels", "fluid")
-        groups = self.config.n_channel_groups
-        columns_per_group = self.config.nx // groups
-        return np.array([
-            float(fluid[:, g * columns_per_group:(g + 1) * columns_per_group].mean())
-            for g in range(groups)
-        ])
+        return group_coolant_temperatures(thermal, self.config)
 
     def _cell_heat_map(self, group_currents: np.ndarray,
                        group_ocvs: np.ndarray) -> np.ndarray:
@@ -162,15 +214,18 @@ class ElectroThermalCosim:
         config = self.config
         groups = config.n_channel_groups
         voltage = config.operating_voltage_v
+        surface = self._surface
 
         # Isothermal reference at the inlet temperature.
-        reference_curve = self._group_curve(config.inlet_temperature_k)
-        isothermal_current = groups * self._group_current(reference_curve, voltage)
+        isothermal_current = groups * surface.current_at(
+            config.inlet_temperature_k, voltage
+        )
 
-        model = build_thermal_model(
-            nx=config.nx, ny=config.ny,
-            total_flow_ml_min=config.total_flow_ml_min,
-            inlet_temperature_k=config.inlet_temperature_k,
+        model = self._thermal_model()
+        # A previous run may have left its converged cell-heat map on the
+        # fluid layer; start every run from the chip-only load.
+        model.set_power_map(
+            "channels", np.zeros((config.ny, config.nx)), kind="fluid"
         )
 
         temperatures = np.full(groups, config.inlet_temperature_k)
@@ -184,11 +239,8 @@ class ElectroThermalCosim:
             shift = float(np.max(np.abs(new_temperatures - temperatures)))
             temperatures = new_temperatures
 
-            curves = [self._group_curve(t) for t in temperatures]
-            group_currents = np.array(
-                [self._group_current(c, voltage) for c in curves]
-            )
-            group_ocvs = np.array([c.open_circuit_voltage_v for c in curves])
+            group_currents = surface.currents_at(temperatures, voltage)
+            group_ocvs = surface.ocvs_at(temperatures)
 
             if config.include_cell_heat:
                 model.set_power_map(

@@ -1,0 +1,314 @@
+"""Shared polarization surface over a temperature grid.
+
+The electro-thermal co-simulations need one quantity over and over: the
+current (and open-circuit voltage) of a channel group as a function of its
+coolant temperature. Rebuilding a full electrochemical model and sampling a
+polarization curve for every query made that the hot path of the whole
+repository — every fixed-point iteration paid 11 curve constructions, and
+the transient stepper kept its own private cache the steady solver could
+not see.
+
+A :class:`PolarizationSurface` replaces all of that: group polarization
+curves are computed on a uniform temperature grid (configurable range and
+resolution), each grid node at most once, and queries interpolate linearly
+between the two bracketing nodes. The surface is shared process-wide via
+:meth:`PolarizationSurface.shared` / :func:`surface_for`, so the steady
+coupling loop, the transient stepper and the sweep evaluators all draw
+from the same curve store — a sweep revisiting the same flow rate never
+rebuilds a curve.
+
+Accuracy: the group current varies by a fraction of a percent per kelvin
+over the operating envelope, so linear interpolation at the default 0.5 K
+resolution sits orders of magnitude inside the 0.5 % acceptance band
+(``tests/cosim/test_surface.py`` asserts this against direct construction).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.electrochem.polarization import PolarizationCurve
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cosim.coupling import CosimConfig
+
+#: Default temperature window [K]: generously wider than any co-sim
+#: operating envelope (the 48 ml/min stress case peaks near 365 K). Nodes
+#: are filled lazily, so a wide default costs nothing until visited.
+DEFAULT_TEMPERATURE_RANGE_K = (250.0, 450.0)
+
+#: Default grid spacing [K].
+DEFAULT_RESOLUTION_K = 0.5
+
+
+class PolarizationSurface:
+    """Group polarization curves on a temperature grid, interpolated.
+
+    Parameters
+    ----------
+    total_flow_ml_min:
+        Total array flow; fixes the per-channel flow of every curve.
+    channels_per_group:
+        Parallel channels per thermal group; curves are scaled by it.
+    n_curve_points / max_overpotential_v:
+        Sampling of each underlying polarization curve.
+    temperature_range_k / resolution_k:
+        Grid window and spacing. Queries outside the window raise (widen
+        the range rather than extrapolate). Grid nodes are built lazily —
+        each node's curve is constructed at most once, on first use, so
+        the cost of a surface is proportional to the temperature span
+        actually visited, not to the configured window.
+    """
+
+    def __init__(
+        self,
+        total_flow_ml_min: float,
+        channels_per_group: int,
+        *,
+        n_curve_points: int = 50,
+        temperature_range_k: "tuple[float, float]" = DEFAULT_TEMPERATURE_RANGE_K,
+        resolution_k: float = DEFAULT_RESOLUTION_K,
+        max_overpotential_v: float = 1.4,
+    ) -> None:
+        if total_flow_ml_min <= 0.0:
+            raise ConfigurationError("total flow must be > 0 ml/min")
+        if channels_per_group < 1:
+            raise ConfigurationError("need at least one channel per group")
+        if n_curve_points < 2:
+            raise ConfigurationError("need at least two curve points")
+        if resolution_k <= 0.0:
+            raise ConfigurationError("grid resolution must be > 0 K")
+        t_min, t_max = (float(t) for t in temperature_range_k)
+        if not t_min < t_max:
+            raise ConfigurationError(
+                f"temperature range must satisfy min < max, got "
+                f"({t_min:g}, {t_max:g})"
+            )
+        if t_min <= 0.0:
+            raise ConfigurationError("temperature range must be > 0 K")
+        self.total_flow_ml_min = float(total_flow_ml_min)
+        self.channels_per_group = int(channels_per_group)
+        self.n_curve_points = int(n_curve_points)
+        self.max_overpotential_v = float(max_overpotential_v)
+        self.resolution_k = float(resolution_k)
+        n_nodes = int(math.ceil((t_max - t_min) / resolution_k)) + 1
+        self.node_temperatures_k = t_min + resolution_k * np.arange(n_nodes)
+        self._curves: "dict[int, PolarizationCurve]" = {}
+        self._node_ocvs: "dict[int, float]" = {}
+        #: per terminal voltage: {node index: group current [A]}
+        self._node_currents: "dict[float, dict[int, float]]" = {}
+
+    # -- grid ------------------------------------------------------------------
+
+    @property
+    def temperature_range_k(self) -> "tuple[float, float]":
+        """The covered window [K] (last node may overshoot the requested max)."""
+        return (
+            float(self.node_temperatures_k[0]),
+            float(self.node_temperatures_k[-1]),
+        )
+
+    @property
+    def nodes_built(self) -> int:
+        """How many grid nodes have had their curve constructed."""
+        return len(self._curves)
+
+    def _bracket(self, temperatures_k: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """(node index, fraction) of each query on the grid; validates range."""
+        t_min, t_max = self.temperature_range_k
+        if np.any(temperatures_k < t_min) or np.any(temperatures_k > t_max):
+            bad_lo = float(temperatures_k.min())
+            bad_hi = float(temperatures_k.max())
+            raise ConfigurationError(
+                f"temperature query [{bad_lo:.2f}, {bad_hi:.2f}] K outside "
+                f"the surface grid [{t_min:.2f}, {t_max:.2f}] K — widen "
+                "temperature_range_k"
+            )
+        position = (temperatures_k - t_min) / self.resolution_k
+        index = np.clip(
+            np.floor(position).astype(int), 0, len(self.node_temperatures_k) - 2
+        )
+        return index, position - index
+
+    def _curve(self, node: int) -> PolarizationCurve:
+        """The group curve at one grid node (built lazily, once)."""
+        curve = self._curves.get(node)
+        if curve is None:
+            from repro.casestudy.power7plus import build_array_cell
+
+            cell = build_array_cell(
+                total_flow_ml_min=self.total_flow_ml_min,
+                temperature_k=float(self.node_temperatures_k[node]),
+                temperature_dependent=True,
+            )
+            curve = cell.polarization_curve(
+                n_points=self.n_curve_points,
+                max_overpotential_v=self.max_overpotential_v,
+            ).scaled(self.channels_per_group)
+            self._curves[node] = curve
+        return curve
+
+    def _node_current(self, node: int, voltage_v: float) -> float:
+        """Group current of one grid node at a terminal voltage [A].
+
+        Mirrors :meth:`FlowCellArray.combine_at_voltage`: a node whose OCV
+        sits below the terminal voltage contributes zero (open circuit),
+        and voltages below the sampled range clamp to the last sample.
+        """
+        per_voltage = self._node_currents.setdefault(voltage_v, {})
+        current = per_voltage.get(node)
+        if current is None:
+            curve = self._curve(node)
+            v_max = float(curve.voltage_v[0])
+            v_min = float(curve.voltage_v[-1])
+            if voltage_v >= v_max:
+                current = 0.0
+            else:
+                current = curve.current_at_voltage(max(voltage_v, v_min))
+            per_voltage[node] = current
+        return current
+
+    def _node_ocv(self, node: int) -> float:
+        ocv = self._node_ocvs.get(node)
+        if ocv is None:
+            ocv = self._curve(node).open_circuit_voltage_v
+            self._node_ocvs[node] = ocv
+        return ocv
+
+    # -- queries ---------------------------------------------------------------
+
+    def _interpolated_current(self, node: int, frac: float, voltage_v: float) -> float:
+        current = (
+            (1.0 - frac) * self._node_current(node, voltage_v)
+            + frac * self._node_current(node + 1, voltage_v)
+        )
+        if current == 0.0:
+            return 0.0
+        # Open-circuit cutoff: when the terminal voltage sits between the
+        # two nodes' OCVs (one contributes zero, one a sliver), blending
+        # would fake a small current where the group is in fact open. Gate
+        # on the *interpolated* OCV — the surface's estimate of the true
+        # OCV at this temperature — so the cutoff lands where direct
+        # construction puts it, to within interpolation error.
+        ocv = (1.0 - frac) * self._node_ocv(node) + frac * self._node_ocv(node + 1)
+        return 0.0 if voltage_v >= ocv else current
+
+    def _interpolate(self, temperatures_k, node_value) -> np.ndarray:
+        """Shape-preserving grid interpolation of a per-(node, frac) value."""
+        temps = np.atleast_1d(np.asarray(temperatures_k, dtype=float))
+        index, frac = self._bracket(temps)
+        flat_index = index.ravel()
+        flat_frac = frac.ravel()
+        values = np.fromiter(
+            (
+                node_value(int(i), float(f))
+                for i, f in zip(flat_index, flat_frac)
+            ),
+            dtype=float,
+            count=flat_index.size,
+        )
+        return values.reshape(temps.shape)
+
+    def currents_at(self, temperatures_k, voltage_v: float) -> np.ndarray:
+        """Group currents [A] at the given temperatures and terminal voltage.
+
+        Accepts any array-like of temperatures [K]; returns an array of the
+        same shape. Linear interpolation between the two bracketing grid
+        nodes' currents at ``voltage_v``; a temperature whose (interpolated)
+        OCV is at or below ``voltage_v`` contributes zero, mirroring
+        :meth:`FlowCellArray.combine_at_voltage`.
+        """
+        return self._interpolate(
+            temperatures_k,
+            lambda node, frac: self._interpolated_current(node, frac, voltage_v),
+        )
+
+    def current_at(self, temperature_k: float, voltage_v: float) -> float:
+        """Scalar convenience for :meth:`currents_at`."""
+        return float(self.currents_at([temperature_k], voltage_v)[0])
+
+    def ocvs_at(self, temperatures_k) -> np.ndarray:
+        """Open-circuit voltages [V] at the given temperatures."""
+        return self._interpolate(
+            temperatures_k,
+            lambda node, frac: (
+                (1.0 - frac) * self._node_ocv(node)
+                + frac * self._node_ocv(node + 1)
+            ),
+        )
+
+    def ocv_at(self, temperature_k: float) -> float:
+        """Scalar convenience for :meth:`ocvs_at`."""
+        return float(self.ocvs_at([temperature_k])[0])
+
+    # -- process-wide sharing --------------------------------------------------
+
+    #: Shared surfaces keyed on every construction parameter. Bounded: a
+    #: long-running sweep over many flows evicts the oldest surface rather
+    #: than growing without limit.
+    _SHARED: "dict[tuple, PolarizationSurface]" = {}
+    _SHARED_MAX = 32
+
+    @classmethod
+    def shared(
+        cls,
+        total_flow_ml_min: float,
+        channels_per_group: int,
+        *,
+        n_curve_points: int = 50,
+        temperature_range_k: "tuple[float, float]" = DEFAULT_TEMPERATURE_RANGE_K,
+        resolution_k: float = DEFAULT_RESOLUTION_K,
+        max_overpotential_v: float = 1.4,
+    ) -> "PolarizationSurface":
+        """The process-wide surface for these parameters (built on first use).
+
+        The single curve source behind
+        :class:`~repro.cosim.coupling.ElectroThermalCosim`,
+        :class:`~repro.cosim.transient.TransientCosim` and the ``cosim`` /
+        ``transient`` sweep evaluators: co-simulations with the same flow,
+        group size and curve sampling share every node curve.
+        """
+        key = (
+            float(total_flow_ml_min),
+            int(channels_per_group),
+            int(n_curve_points),
+            tuple(float(t) for t in temperature_range_k),
+            float(resolution_k),
+            float(max_overpotential_v),
+        )
+        surface = cls._SHARED.get(key)
+        if surface is None:
+            surface = cls(
+                total_flow_ml_min,
+                channels_per_group,
+                n_curve_points=n_curve_points,
+                temperature_range_k=temperature_range_k,
+                resolution_k=resolution_k,
+                max_overpotential_v=max_overpotential_v,
+            )
+            while len(cls._SHARED) >= cls._SHARED_MAX:
+                cls._SHARED.pop(next(iter(cls._SHARED)))
+            cls._SHARED[key] = surface
+        return surface
+
+    @classmethod
+    def clear_shared(cls) -> None:
+        """Drop all shared surfaces (tests, memory pressure)."""
+        cls._SHARED.clear()
+
+
+def surface_for(config: "CosimConfig") -> PolarizationSurface:
+    """The shared surface matching a co-simulation configuration."""
+    from repro.casestudy.power7plus import ARRAY_CHANNEL_COUNT
+
+    return PolarizationSurface.shared(
+        total_flow_ml_min=config.total_flow_ml_min,
+        channels_per_group=ARRAY_CHANNEL_COUNT // config.n_channel_groups,
+        n_curve_points=config.n_curve_points,
+        temperature_range_k=config.surface_temperature_range_k,
+        resolution_k=config.surface_resolution_k,
+    )

@@ -12,20 +12,21 @@ step at the current heat load, then an electrochemical update at the new
 channel-group temperatures (the cells respond quasi-statically — their
 species transit time, ~14 ms, is below the thermal step sizes used here,
 and their thermal mass is part of the fluid's).
+
+Electrochemical data comes from the shared
+:class:`~repro.cosim.surface.PolarizationSurface`, so the stepper never
+builds a polarization curve of its own and shares every node curve with
+the steady solver and the sweep evaluators.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.casestudy.power7plus import (
-    ARRAY_CHANNEL_COUNT,
-    build_array_cell,
-    build_thermal_model,
-)
-from repro.cosim.coupling import CosimConfig
+from repro.casestudy.power7plus import build_thermal_model, full_load_power_map
+from repro.cosim.coupling import CosimConfig, group_coolant_temperatures
+from repro.cosim.surface import surface_for
 from repro.errors import ConfigurationError
-from repro.flowcell.array import FlowCellArray
 from repro.thermal.solver import ThermalSolution
 
 
@@ -46,44 +47,29 @@ class TransientCosim:
     ----------
     config:
         Shares the steady co-simulation's configuration (raster, groups,
-        operating voltage, coolant point).
+        operating voltage, coolant point, polarization surface).
     """
 
     def __init__(self, config: CosimConfig = CosimConfig()) -> None:
         self.config = config
-        self._curve_cache: "dict[float, object]" = {}
 
-    def _group_current(self, temperature_k: float) -> float:
-        """Current of one channel group at its temperature (cached on a
-        0.1 K grid — the electrochemical response is smooth)."""
-        key = round(temperature_k, 1)
-        if key not in self._curve_cache:
-            cell = build_array_cell(
-                total_flow_ml_min=self.config.total_flow_ml_min,
-                temperature_k=key,
-                temperature_dependent=True,
-            )
-            channels = ARRAY_CHANNEL_COUNT // self.config.n_channel_groups
-            self._curve_cache[key] = cell.polarization_curve(
-                n_points=self.config.n_curve_points, max_overpotential_v=1.4
-            ).scaled(channels)
-        return FlowCellArray.combine_at_voltage(
-            [self._curve_cache[key]], self.config.operating_voltage_v
-        )
+    @property
+    def _surface(self):
+        """Resolved per access (a dict lookup on the shared store), so
+        rebinding ``self.config`` between runs is honored."""
+        return surface_for(self.config)
 
     def _sample(self, time_s: float, thermal: ThermalSolution) -> TransientSample:
+        group_temps = group_coolant_temperatures(thermal, self.config)
+        currents = self._surface.currents_at(
+            group_temps, self.config.operating_voltage_v
+        )
         fluid = thermal.field("channels", "fluid")
-        groups = self.config.n_channel_groups
-        columns = self.config.nx // groups
-        current = 0.0
-        for g in range(groups):
-            t_group = float(fluid[:, g * columns:(g + 1) * columns].mean())
-            current += self._group_current(t_group)
         return TransientSample(
             time_s=time_s,
             peak_temperature_c=thermal.peak_celsius,
             mean_coolant_c=float(fluid.mean()) - 273.15,
-            array_current_a=current,
+            array_current_a=float(currents.sum()),
         )
 
     def run_step_response(
@@ -97,49 +83,80 @@ class TransientCosim:
 
         The system starts at the *steady state* of ``utilization_before``,
         the power map switches to ``utilization_after``, and the coupled
-        state is sampled every ``dt_s`` for ``duration_s``.
+        state is sampled every ``dt_s`` for ``duration_s``. When
+        ``duration_s`` is not an integer multiple of ``dt_s``, a final
+        partial step lands the last sample exactly at ``duration_s`` — no
+        horizon is silently dropped or added.
         """
         if duration_s <= 0.0 or dt_s <= 0.0 or dt_s > duration_s:
             raise ConfigurationError("need 0 < dt <= duration")
         config = self.config
-        before = build_thermal_model(
+        # One model for both phases: utilization only scales the power map
+        # (the right-hand side), so the sparse assembly and factorizations
+        # survive the workload switch.
+        model = build_thermal_model(
             nx=config.nx, ny=config.ny,
             total_flow_ml_min=config.total_flow_ml_min,
             inlet_temperature_k=config.inlet_temperature_k,
             utilization=utilization_before,
         )
-        state = before.solve_steady()
-
-        after = build_thermal_model(
-            nx=config.nx, ny=config.ny,
-            total_flow_ml_min=config.total_flow_ml_min,
-            inlet_temperature_k=config.inlet_temperature_k,
-            utilization=utilization_after,
+        state = model.solve_steady()
+        model.set_power_map(
+            "active_si",
+            full_load_power_map(config.nx, config.ny,
+                                utilization=utilization_after),
         )
         samples = [self._sample(0.0, state)]
-        elapsed = 0.0
-        steps = int(round(duration_s / dt_s))
-        for _ in range(steps):
-            state = after.solve_transient(
+        # Full dt_s steps (the step size is passed *exactly*, so every
+        # full step shares one cached factorization), then one partial
+        # step for whatever remains. The float guard keeps an exact
+        # multiple (e.g. 0.5 / 0.05) at exactly duration_s full steps
+        # rather than growing a sliver step.
+        n_full = int(duration_s / dt_s + 1e-9)
+        remainder = duration_s - n_full * dt_s
+        if remainder <= 1e-9 * dt_s:
+            remainder = 0.0
+        for i in range(1, n_full + 1):
+            state = model.solve_transient(
                 duration_s=dt_s, dt_s=dt_s / 2.0, initial=state
             )
-            elapsed += dt_s
-            samples.append(self._sample(elapsed, state))
+            at_end = i == n_full and remainder == 0.0
+            samples.append(self._sample(
+                duration_s if at_end else dt_s * i, state
+            ))
+        if remainder > 0.0:
+            state = model.solve_transient(
+                duration_s=remainder, dt_s=remainder / 2.0, initial=state
+            )
+            samples.append(self._sample(duration_s, state))
         return samples
 
     @staticmethod
     def settling_time_s(
         samples: "list[TransientSample]", fraction: float = 0.95
     ) -> float:
-        """Time to cover ``fraction`` of the peak-temperature transition."""
+        """Time after which the peak temperature stays settled.
+
+        Settled means within ``(1 - fraction) * |end - start|`` of the
+        final value. The answer is the time of the first sample after the
+        trajectory *last* leaves that band — so an overshooting
+        (non-monotonic) trajectory is not credited with its first crossing
+        on the way through. A trajectory that never leaves the band (flat,
+        or settled from the start) settles at the first sample's time.
+        """
+        if not samples:
+            raise ConfigurationError("need at least one sample")
         if not 0.0 < fraction < 1.0:
             raise ConfigurationError("fraction must be in (0, 1)")
         start = samples[0].peak_temperature_c
         end = samples[-1].peak_temperature_c
-        if abs(end - start) < 1e-9:
-            return 0.0
-        for sample in samples:
-            progress = (sample.peak_temperature_c - start) / (end - start)
-            if progress >= fraction:
-                return sample.time_s
-        return samples[-1].time_s
+        band = (1.0 - fraction) * abs(end - start) + 1e-9
+        last_outside = None
+        for index, sample in enumerate(samples):
+            if abs(sample.peak_temperature_c - end) > band:
+                last_outside = index
+        if last_outside is None:
+            return samples[0].time_s
+        # samples[-1] deviates from itself by zero, so an index after the
+        # last outside sample always exists.
+        return samples[last_outside + 1].time_s

@@ -12,7 +12,13 @@ the hand-rolled loops they replaced:
   (bench A1 and the design-space example).
 - ``vrm`` — regulator technology comparison at one array tap (bench A3).
 - ``cosim`` — full electro-thermal fixed-point run (Section III-B).
+- ``transient`` — utilization-step response through the transient co-sim
+  (bench A14); settling time and current swing of the step.
 - ``workload`` — named workload scenario thermal state (bench A8).
+
+The ``cosim`` and ``transient`` evaluators share the process-wide
+:class:`~repro.cosim.surface.PolarizationSurface` store, so sweeps that
+revisit a flow rate never rebuild a polarization curve.
 
 The electrochemical models in ``operating_point``, ``geometry`` and ``vrm``
 are isothermal at the 300 K reference, as in the benches they mirror;
@@ -279,7 +285,12 @@ def evaluate_vrm(spec: ScenarioSpec) -> "dict[str, float]":
 
 @register_evaluator("cosim")
 def evaluate_cosim(spec: ScenarioSpec) -> "dict[str, float]":
-    """Full electro-thermal fixed-point run (slow; Section III-B)."""
+    """Full electro-thermal fixed-point run (Section III-B).
+
+    Scenarios sharing a flow rate draw from one polarization surface per
+    worker process, so only the first point at each flow pays for curve
+    construction.
+    """
     from repro.cosim import CosimConfig, ElectroThermalCosim
 
     config = CosimConfig(
@@ -298,6 +309,46 @@ def evaluate_cosim(spec: ScenarioSpec) -> "dict[str, float]":
         "current_gain": result.current_gain,
         "iterations": float(result.iterations),
         "converged": float(result.converged),
+    }
+
+
+@register_evaluator("transient")
+def evaluate_transient(spec: ScenarioSpec) -> "dict[str, float]":
+    """Utilization-step response: ``utilization_before`` -> ``utilization``.
+
+    Runs the transient co-simulation over ``step_duration_s`` sampled at
+    ``step_dt_s`` and reduces the trajectory to scalar metrics. The group
+    curves come from the shared polarization surface, so a sweep across
+    inlet temperatures or step sizes at one flow rate builds each curve
+    only once per worker process.
+    """
+    from repro.cosim import CosimConfig, TransientCosim
+
+    config = CosimConfig(
+        total_flow_ml_min=spec.total_flow_ml_min,
+        inlet_temperature_k=spec.inlet_temperature_k,
+        operating_voltage_v=spec.operating_voltage_v,
+        nx=spec.nx,
+        ny=spec.ny,
+        n_channel_groups=11,
+    )
+    cosim = TransientCosim(config)
+    samples = cosim.run_step_response(
+        spec.utilization_before,
+        spec.utilization,
+        duration_s=spec.step_duration_s,
+        dt_s=spec.step_dt_s,
+    )
+    first, last = samples[0], samples[-1]
+    return {
+        "initial_peak_c": first.peak_temperature_c,
+        "final_peak_c": last.peak_temperature_c,
+        "peak_swing_c": last.peak_temperature_c - first.peak_temperature_c,
+        "initial_current_a": first.array_current_a,
+        "final_current_a": last.array_current_a,
+        "current_swing_a": last.array_current_a - first.array_current_a,
+        "settling_time_s": TransientCosim.settling_time_s(samples),
+        "n_samples": float(len(samples)),
     }
 
 

@@ -14,6 +14,9 @@ benchmarks run at a handful of points:
   points).
 - ``cosim``     — coolant operating points through the full
   electro-thermal fixed point (slow; Section III-B).
+- ``transient`` — utilization-step responses over flow, inlet
+  temperature and step size (the bench A14 scenario family; settling
+  time and current swing per point).
 """
 
 from __future__ import annotations
@@ -106,6 +109,18 @@ def _cosim_grid(points: int) -> SweepGrid:
     })
 
 
+def _transient_grid(points: int) -> SweepGrid:
+    # 2 inlets x 2 step sizes per flow point; flows start at the paper's
+    # quarter-nominal rather than the 48 ml/min stress case so default
+    # grids stay fast enough for CI smoke runs.
+    n_flows = max(2, math.ceil(points / 4))
+    return SweepGrid.from_dict({
+        "total_flow_ml_min": _geomspace(169.0, 1352.0, n_flows),
+        "inlet_temperature_k": (300.0, 310.15),
+        "step_dt_s": (0.05, 0.025),
+    })
+
+
 PRESETS: "dict[str, SweepPreset]" = {
     preset.name: preset
     for preset in (
@@ -143,6 +158,19 @@ PRESETS: "dict[str, SweepPreset]" = {
             base=ScenarioSpec(evaluator="cosim"),
             grid_builder=_cosim_grid,
             default_points=6,
+        ),
+        SweepPreset(
+            name="transient",
+            description="utilization-step response over flow/inlet/step size",
+            # Reduced raster (as the transient tests use): the trajectory
+            # metrics are raster-insensitive and each point integrates
+            # dozens of thermal steps.
+            base=ScenarioSpec(
+                evaluator="transient", nx=22, ny=11,
+                utilization_before=0.1, utilization=1.0,
+            ),
+            grid_builder=_transient_grid,
+            default_points=8,
         ),
     )
 }

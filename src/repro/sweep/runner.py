@@ -96,8 +96,17 @@ class SweepCache:
             if path is not None and path.is_file():
                 import json
 
-                metrics = json.loads(path.read_text())
-                self._memory[key] = metrics
+                # A corrupt or truncated file (interrupted non-atomic
+                # writer from another tool, disk trouble) is a cache miss,
+                # not a crash: the scenario re-evaluates and put() replaces
+                # the bad file atomically.
+                try:
+                    loaded = json.loads(path.read_text())
+                except (ValueError, OSError):
+                    loaded = None
+                if isinstance(loaded, dict):
+                    metrics = loaded
+                    self._memory[key] = metrics
         if metrics is None:
             self.misses += 1
             return None

@@ -61,7 +61,13 @@ class ScenarioSpec:
         Named workload scenario (workload evaluator); see
         :func:`repro.casestudy.workloads.standard_workloads`.
     utilization:
-        Uniform activity scaling in [0, 1] (operating-point evaluator).
+        Uniform activity scaling in [0, 1] (operating-point evaluator;
+        the *target* utilization of the transient step evaluator).
+    utilization_before:
+        Utilization the transient evaluator starts from; the step at
+        t = 0 goes ``utilization_before`` -> ``utilization``.
+    step_duration_s / step_dt_s:
+        Horizon and sample interval of the transient step response.
     nx / ny:
         Thermal raster resolution.
     label:
@@ -80,6 +86,9 @@ class ScenarioSpec:
     vrm: str = "ideal"
     workload: str = "full load"
     utilization: float = 1.0
+    utilization_before: float = 0.1
+    step_duration_s: float = 0.5
+    step_dt_s: float = 0.05
     nx: int = 44
     ny: int = 22
     label: str = ""
@@ -90,6 +99,7 @@ class ScenarioSpec:
     _FLOAT_FIELDS = (
         "total_flow_ml_min", "inlet_temperature_k", "channel_width_um",
         "wall_width_um", "operating_voltage_v", "utilization",
+        "utilization_before", "step_duration_s", "step_dt_s",
     )
     _INT_FIELDS = ("nx", "ny")
 
@@ -110,6 +120,16 @@ class ScenarioSpec:
             raise ConfigurationError("operating voltage must be > 0 V")
         if not 0.0 <= self.utilization <= 1.0:
             raise ConfigurationError("utilization must be in [0, 1]")
+        if not 0.0 <= self.utilization_before <= 1.0:
+            raise ConfigurationError("utilization_before must be in [0, 1]")
+        if (
+            self.step_duration_s <= 0.0
+            or self.step_dt_s <= 0.0
+            or self.step_dt_s > self.step_duration_s
+        ):
+            raise ConfigurationError(
+                "step timing needs 0 < step_dt_s <= step_duration_s"
+            )
         if self.nx < 2 or self.ny < 2:
             raise ConfigurationError("thermal raster needs nx, ny >= 2")
         # The enum-like fields are closed sets; rejecting typos here means

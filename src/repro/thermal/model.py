@@ -31,7 +31,13 @@ from repro.microfluidics.heat_transfer import (
     fin_efficiency,
     heat_transfer_coefficient,
 )
-from repro.thermal.solver import ThermalSolution, solve_steady, solve_transient
+from repro.thermal.solver import (
+    ThermalSolution,
+    factorize_steady,
+    factorize_transient,
+    solve_steady,
+    solve_transient,
+)
 from repro.thermal.stack import LayerStack, MicrochannelLayer, SolidLayer
 
 
@@ -99,6 +105,17 @@ class ThermalModel:
         self.n_dof = offset
         self._sources: "dict[int, np.ndarray]" = {}
         self._advection_rows: "list[tuple[np.ndarray, np.ndarray | None, np.ndarray]]" = []
+        # The system matrix and the source-free right-hand side depend only
+        # on the (frozen) stack and raster, never on the power maps — so
+        # they, the steady LU factorization and the per-step-size transient
+        # factorizations are assembled once per model and reused across
+        # solves. This is what makes repeated solves of the same model
+        # (the co-simulation's fixed-point loop, transient stepping) cheap:
+        # iterations after the first cost one sparse triangular solve.
+        self._structure: "tuple[sparse.csr_matrix, np.ndarray] | None" = None
+        self._steady_lu = None
+        self._transient_lus: "dict[float, object]" = {}
+        self._capacitance: "np.ndarray | None" = None
 
     # -- field lookup ----------------------------------------------------------
 
@@ -315,25 +332,29 @@ class ThermalModel:
     # -- solves ---------------------------------------------------------------------------
 
     def _build_system(self) -> "tuple[sparse.csr_matrix, np.ndarray]":
-        self._advection_rows = []
-        matrix, rhs = self._assemble()
-        # Advection is non-symmetric: append after the symmetric stamps.
-        rows, cols, vals = [], [], []
-        for cells, upstream, mcp in self._advection_rows:
-            mcp_values = np.broadcast_to(np.asarray(mcp, dtype=float), cells.shape)
-            rows.append(cells)
-            cols.append(cells)
-            vals.append(mcp_values.copy())
-            if upstream is not None:
+        if self._structure is None:
+            self._advection_rows = []
+            matrix, rhs = self._assemble()
+            # Advection is non-symmetric: append after the symmetric stamps.
+            rows, cols, vals = [], [], []
+            for cells, upstream, mcp in self._advection_rows:
+                mcp_values = np.broadcast_to(np.asarray(mcp, dtype=float), cells.shape)
                 rows.append(cells)
-                cols.append(upstream)
-                vals.append(-mcp_values)
-        if rows:
-            advection = sparse.coo_matrix(
-                (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
-                shape=(self.n_dof, self.n_dof),
-            ).tocsr()
-            matrix = matrix + advection
+                cols.append(cells)
+                vals.append(mcp_values.copy())
+                if upstream is not None:
+                    rows.append(cells)
+                    cols.append(upstream)
+                    vals.append(-mcp_values)
+            if rows:
+                advection = sparse.coo_matrix(
+                    (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+                    shape=(self.n_dof, self.n_dof),
+                ).tocsr()
+                matrix = matrix + advection
+            self._structure = (matrix, rhs)
+        matrix, base_rhs = self._structure
+        rhs = base_rhs.copy()
         for offset, power in self._sources.items():
             rhs[offset: offset + self.nx * self.ny] += power.ravel()
         return matrix, rhs
@@ -341,7 +362,9 @@ class ThermalModel:
     def solve_steady(self) -> ThermalSolution:
         """Solve the steady-state temperature field (the Fig. 9 quantity)."""
         matrix, rhs = self._build_system()
-        return solve_steady(self, matrix, rhs)
+        if self._steady_lu is None:
+            self._steady_lu = factorize_steady(matrix)
+        return solve_steady(self, matrix, rhs, lu=self._steady_lu)
 
     def solve_transient(
         self,
@@ -354,8 +377,20 @@ class ThermalModel:
         ``initial`` may be a previous solution, a uniform temperature [K],
         or ``None`` (start from the coolant inlet temperature).
         """
+        if duration_s <= 0.0 or dt_s <= 0.0:
+            raise ConfigurationError("duration and dt must be > 0")
         matrix, rhs = self._build_system()
-        return solve_transient(self, matrix, rhs, duration_s, dt_s, initial)
+        if self._capacitance is None:
+            self._capacitance = self.capacitance_vector()
+        effective_dt = min(dt_s, duration_s)
+        lu = self._transient_lus.get(effective_dt)
+        if lu is None:
+            lu = factorize_transient(matrix, self._capacitance, effective_dt)
+            self._transient_lus[effective_dt] = lu
+        return solve_transient(
+            self, matrix, rhs, duration_s, dt_s, initial,
+            lu=lu, capacitance=self._capacitance,
+        )
 
     # -- capacitances (transient) -----------------------------------------------------------
 

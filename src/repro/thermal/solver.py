@@ -90,17 +90,35 @@ class ThermalSolution:
         return self.model.total_power_w() - self.coolant_heat_removal_w()
 
 
-def solve_steady(
-    model: "ThermalModel", matrix: sparse.csr_matrix, rhs: np.ndarray
-) -> ThermalSolution:
-    """Direct sparse LU solve of the steady system."""
+def factorize_steady(matrix: sparse.csr_matrix):
+    """Sparse LU factorization of the steady system matrix.
+
+    Factored out of :func:`solve_steady` so callers whose matrix is fixed
+    across solves (only the power map / right-hand side changes, as in the
+    co-simulation's fixed-point loop) can factor once and re-solve cheaply.
+    """
     try:
-        lu = splu(matrix.tocsc())
+        return splu(matrix.tocsc())
     except RuntimeError as error:  # singular matrix
         raise ConfigurationError(
             "steady thermal system is singular — does the stack contain a "
             f"microchannel layer to carry heat away? ({error})"
         ) from error
+
+
+def solve_steady(
+    model: "ThermalModel",
+    matrix: sparse.csr_matrix,
+    rhs: np.ndarray,
+    lu=None,
+) -> ThermalSolution:
+    """Direct sparse LU solve of the steady system.
+
+    ``lu`` may carry a factorization of ``matrix`` from
+    :func:`factorize_steady`; without it one is computed here.
+    """
+    if lu is None:
+        lu = factorize_steady(matrix)
     temperatures = lu.solve(rhs)
     if not np.all(np.isfinite(temperatures)):
         raise ConvergenceError("thermal solve produced non-finite temperatures")
@@ -118,6 +136,19 @@ def solve_steady(
     return ThermalSolution(temperatures_k=temperatures, model=model)
 
 
+def factorize_transient(
+    matrix: sparse.csr_matrix, capacitance: np.ndarray, dt_s: float
+):
+    """LU factorization of the backward-Euler step matrix A + C/dt.
+
+    The step matrix depends only on the structure and the step size, so a
+    caller integrating many steps (or many trajectories) at the same dt
+    can factor once per dt.
+    """
+    c_over_dt = sparse.diags(capacitance / dt_s)
+    return splu((matrix + c_over_dt).tocsc())
+
+
 def solve_transient(
     model: "ThermalModel",
     matrix: sparse.csr_matrix,
@@ -125,17 +156,22 @@ def solve_transient(
     duration_s: float,
     dt_s: float,
     initial: "ThermalSolution | float | None" = None,
+    lu=None,
+    capacitance: "np.ndarray | None" = None,
 ) -> ThermalSolution:
     """Backward-Euler integration of C*dT/dt = -A*T + q.
 
     Unconditionally stable; the step size only controls accuracy. Returns
-    the state at ``duration_s``.
+    the state at ``duration_s``. ``lu``/``capacitance`` may carry a cached
+    :func:`factorize_transient` result for the *effective* step size
+    (``min(dt_s, duration_s)``); without them both are computed here.
     """
     if duration_s <= 0.0 or dt_s <= 0.0:
         raise ConfigurationError("duration and dt must be > 0")
     if dt_s > duration_s:
         dt_s = duration_s
-    capacitance = model.capacitance_vector()
+    if capacitance is None:
+        capacitance = model.capacitance_vector()
     if np.any(capacitance <= 0.0):
         raise ConfigurationError("all DOFs need positive heat capacitance")
 
@@ -146,8 +182,8 @@ def solve_transient(
     else:
         state = np.full(model.n_dof, float(initial))
 
-    c_over_dt = sparse.diags(capacitance / dt_s)
-    lu = splu((matrix + c_over_dt).tocsc())
+    if lu is None:
+        lu = factorize_transient(matrix, capacitance, dt_s)
     steps = int(round(duration_s / dt_s))
     for _ in range(max(1, steps)):
         state = lu.solve(rhs + (capacitance / dt_s) * state)

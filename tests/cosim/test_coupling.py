@@ -1,9 +1,11 @@
 """Tests for the electro-thermal co-simulation (Section III-B)."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.cosim import CosimConfig, ElectroThermalCosim
+from repro.cosim import CosimConfig, CosimResult, ElectroThermalCosim
 from repro.errors import ConfigurationError
 
 
@@ -26,6 +28,19 @@ class TestConfig:
     def test_rejects_bad_tolerance(self):
         with pytest.raises(ConfigurationError):
             CosimConfig(tolerance_k=0.0)
+
+    def test_rejects_bad_surface_grid(self):
+        with pytest.raises(ConfigurationError):
+            CosimConfig(surface_resolution_k=0.0)
+        with pytest.raises(ConfigurationError):
+            CosimConfig(surface_temperature_range_k=(400.0, 300.0))
+
+    def test_rejects_inlet_outside_surface_range(self):
+        with pytest.raises(ConfigurationError):
+            CosimConfig(
+                inlet_temperature_k=500.0,
+                surface_temperature_range_k=(250.0, 450.0),
+            )
 
 
 class TestNominalCoupling:
@@ -101,6 +116,73 @@ class TestStressScenarios:
         result = ElectroThermalCosim(config).run()
         # ~45 K coolant rise at 48 ml/min pushes the peak toward 85-90 C.
         assert result.peak_temperature_c > 70.0
+
+
+def _result_with_currents(array_current_a, isothermal_current_a):
+    """A CosimResult with just the fields the gain properties read."""
+    return CosimResult(
+        config=CosimConfig(nx=44, ny=22),
+        iterations=1,
+        converged=True,
+        group_temperatures_k=np.full(11, 300.0),
+        group_currents_a=np.full(11, array_current_a / 11.0),
+        array_current_a=array_current_a,
+        array_power_w=array_current_a,
+        isothermal_current_a=isothermal_current_a,
+        thermal=None,
+    )
+
+
+class TestCurrentGainContract:
+    def test_zero_isothermal_reference_yields_nan(self):
+        """Regression: operating voltage above the isothermal OCV used to
+        raise ZeroDivisionError; the documented contract is nan."""
+        result = _result_with_currents(0.0, 0.0)
+        assert math.isnan(result.current_gain)
+        assert math.isnan(result.power_gain)
+
+    def test_nonzero_reference_unchanged(self):
+        result = _result_with_currents(6.3, 6.0)
+        assert result.current_gain == pytest.approx(0.05)
+
+    def test_voltage_above_ocv_runs_to_nan_gain(self):
+        """End-to-end: at a voltage above every OCV the run produces zero
+        currents and a nan gain (not a ZeroDivisionError, and not a fake
+        finite gain from interpolation slivers)."""
+        config = CosimConfig(
+            nx=22, ny=11, n_curve_points=30, operating_voltage_v=2.0,
+        )
+        result = ElectroThermalCosim(config).run()
+        assert result.array_current_a == 0.0
+        assert result.isothermal_current_a == 0.0
+        assert math.isnan(result.current_gain)
+
+    def test_rebound_config_is_honored(self):
+        """Rebinding .config between runs must not serve results from the
+        stale surface or thermal model."""
+        cosim = ElectroThermalCosim(
+            CosimConfig(nx=22, ny=11, n_curve_points=30)
+        )
+        nominal = cosim.run()
+        cosim.config = CosimConfig(
+            nx=22, ny=11, n_curve_points=30, total_flow_ml_min=48.0,
+        )
+        low_flow = cosim.run()
+        assert low_flow.peak_temperature_c > nominal.peak_temperature_c + 20.0
+        assert low_flow.array_current_a > nominal.array_current_a
+
+    def test_repeated_runs_share_state_safely(self):
+        """The persistent model and shared surface must not let one run
+        contaminate the next (cell-heat map reset per run)."""
+        cosim = ElectroThermalCosim(
+            CosimConfig(nx=22, ny=11, n_curve_points=30)
+        )
+        first = cosim.run()
+        second = cosim.run()
+        assert second.array_current_a == pytest.approx(
+            first.array_current_a, rel=1e-9
+        )
+        assert second.iterations == first.iterations
 
 
 class TestHeatFeedback:

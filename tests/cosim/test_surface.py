@@ -1,0 +1,162 @@
+"""Tests for the shared polarization surface (the co-sim curve source)."""
+
+import numpy as np
+import pytest
+
+from repro.casestudy.power7plus import ARRAY_CHANNEL_COUNT, build_array_cell
+from repro.cosim import CosimConfig, PolarizationSurface, surface_for
+from repro.errors import ConfigurationError
+from repro.flowcell.array import FlowCellArray
+
+CHANNELS_PER_GROUP = ARRAY_CHANNEL_COUNT // 11
+
+#: Off-node temperatures spanning the co-sim operating envelope: nominal
+#: inlet, warm inlet, and the coolant temperatures the 48 ml/min stress
+#: case reaches (~90 C).
+ENVELOPE_TEMPS_K = (300.0, 303.37, 310.15, 322.71, 341.0, 363.2)
+
+
+def direct_group_curve(flow_ml_min: float, temperature_k: float, n_points: int):
+    """The pre-refactor reference: a curve built at the exact temperature."""
+    cell = build_array_cell(
+        total_flow_ml_min=flow_ml_min,
+        temperature_k=temperature_k,
+        temperature_dependent=True,
+    )
+    return cell.polarization_curve(
+        n_points=n_points, max_overpotential_v=1.4
+    ).scaled(CHANNELS_PER_GROUP)
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return PolarizationSurface(
+        676.0, CHANNELS_PER_GROUP, n_curve_points=35
+    )
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("voltage", [0.8, 1.0, 1.2])
+    def test_currents_match_direct_construction(self, surface, voltage):
+        """Interpolated currents within 0.5 % of exact-temperature curves
+        across the co-sim operating envelope (the acceptance band)."""
+        interpolated = surface.currents_at(ENVELOPE_TEMPS_K, voltage)
+        for temperature, current in zip(ENVELOPE_TEMPS_K, interpolated):
+            curve = direct_group_curve(676.0, temperature, 35)
+            direct = FlowCellArray.combine_at_voltage([curve], voltage)
+            assert current == pytest.approx(direct, rel=5e-3)
+
+    def test_ocvs_match_direct_construction(self, surface):
+        ocvs = surface.ocvs_at(ENVELOPE_TEMPS_K)
+        for temperature, ocv in zip(ENVELOPE_TEMPS_K, ocvs):
+            curve = direct_group_curve(676.0, temperature, 35)
+            assert ocv == pytest.approx(curve.open_circuit_voltage_v, rel=5e-3)
+
+    def test_exact_node_query_is_exact(self, surface):
+        """A query landing on a grid node reproduces that node's curve."""
+        node_t = float(surface.node_temperatures_k[100])
+        curve = direct_group_curve(676.0, node_t, 35)
+        direct = FlowCellArray.combine_at_voltage([curve], 1.0)
+        assert surface.current_at(node_t, 1.0) == pytest.approx(direct, rel=1e-12)
+
+    def test_voltage_above_all_ocvs_gives_zero(self, surface):
+        assert np.all(surface.currents_at(ENVELOPE_TEMPS_K, 2.0) == 0.0)
+
+    def test_ocv_cutoff_matches_interpolated_ocv(self, surface):
+        """A voltage straddling the OCVs of the envelope must split the
+        temperatures cleanly: exact zero at or below the interpolated
+        OCV, strictly positive above — no blended sliver currents from a
+        zero-contribution node."""
+        temps = np.linspace(300.0, 340.0, 81)
+        ocvs = surface.ocvs_at(temps)
+        assert ocvs.max() > ocvs.min()  # OCV does move over the envelope
+        voltage = 0.5 * (float(ocvs.min()) + float(ocvs.max()))
+        currents = surface.currents_at(temps, voltage)
+        open_circuit = voltage >= ocvs
+        assert np.all(currents[open_circuit] == 0.0)
+        assert np.all(currents[~open_circuit] > 0.0)
+
+
+class TestVectorization:
+    def test_preserves_shape(self, surface):
+        temps = np.array([[300.0, 310.0], [320.0, 330.0]])
+        currents = surface.currents_at(temps, 1.0)
+        assert currents.shape == temps.shape
+        assert surface.ocvs_at(temps).shape == temps.shape
+
+    def test_scalar_conveniences(self, surface):
+        assert isinstance(surface.current_at(300.0, 1.0), float)
+        assert isinstance(surface.ocv_at(300.0), float)
+
+    def test_warmer_groups_make_more_current(self, surface):
+        temps = np.linspace(300.0, 340.0, 9)
+        currents = surface.currents_at(temps, 1.0)
+        assert np.all(np.diff(currents) > 0.0)
+
+
+class TestGrid:
+    def test_nodes_built_lazily(self):
+        fresh = PolarizationSurface(676.0, CHANNELS_PER_GROUP,
+                                    n_curve_points=20)
+        assert fresh.nodes_built == 0
+        fresh.currents_at([300.1, 300.2], 1.0)
+        # Two queries inside one grid cell touch only its two nodes.
+        assert fresh.nodes_built == 2
+
+    def test_out_of_range_raises(self, surface):
+        lo, hi = surface.temperature_range_k
+        with pytest.raises(ConfigurationError):
+            surface.currents_at([lo - 1.0], 1.0)
+        with pytest.raises(ConfigurationError):
+            surface.ocvs_at([hi + 1.0])
+
+    def test_range_endpoints_are_queryable(self, surface):
+        lo, hi = surface.temperature_range_k
+        assert surface.current_at(lo, 1.0) >= 0.0
+        assert surface.current_at(hi, 1.0) > 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"resolution_k": 0.0},
+        {"resolution_k": -1.0},
+        {"temperature_range_k": (400.0, 300.0)},
+        {"temperature_range_k": (-10.0, 300.0)},
+        {"n_curve_points": 1},
+    ])
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PolarizationSurface(676.0, CHANNELS_PER_GROUP, **kwargs)
+
+    def test_flow_and_group_validation(self):
+        with pytest.raises(ConfigurationError):
+            PolarizationSurface(0.0, CHANNELS_PER_GROUP)
+        with pytest.raises(ConfigurationError):
+            PolarizationSurface(676.0, 0)
+
+
+class TestSharing:
+    def test_same_config_shares_one_surface(self):
+        config = CosimConfig(nx=44, ny=22, n_curve_points=35)
+        assert surface_for(config) is surface_for(config)
+
+    def test_steady_and_transient_share(self):
+        """The steady loop and the transient stepper draw from one store."""
+        from repro.cosim import ElectroThermalCosim, TransientCosim
+
+        config = CosimConfig(nx=22, ny=11, n_curve_points=30)
+        steady = ElectroThermalCosim(config)
+        transient = TransientCosim(config)
+        assert steady._surface is transient._surface
+
+    def test_different_flow_gets_its_own_surface(self):
+        base = CosimConfig(nx=44, ny=22)
+        low = CosimConfig(nx=44, ny=22, total_flow_ml_min=48.0)
+        assert surface_for(base) is not surface_for(low)
+
+    def test_clear_shared_resets(self):
+        config = CosimConfig(nx=44, ny=22, n_curve_points=25)
+        first = surface_for(config)
+        PolarizationSurface.clear_shared()
+        try:
+            assert surface_for(config) is not first
+        finally:
+            PolarizationSurface.clear_shared()

@@ -52,6 +52,63 @@ class TestStepResponse:
             cosim.run_step_response(0.1, 1.0, duration_s=0.1, dt_s=0.2)
 
 
+class TestPartialFinalStep:
+    """Regression: ``int(round(duration/dt))`` silently dropped or added a
+    step when the horizon was not a step multiple."""
+
+    def test_non_multiple_duration_lands_exactly(self, cosim):
+        samples = cosim.run_step_response(
+            0.1, 1.0, duration_s=0.12, dt_s=0.05
+        )
+        times = [s.time_s for s in samples]
+        assert times == pytest.approx([0.0, 0.05, 0.1, 0.12])
+
+    def test_exact_multiple_unchanged(self, cosim):
+        samples = cosim.run_step_response(0.1, 1.0, duration_s=0.1, dt_s=0.05)
+        times = [s.time_s for s in samples]
+        assert times == pytest.approx([0.0, 0.05, 0.1])
+        assert times[-1] == 0.1
+
+    def test_sliver_over_a_multiple_is_not_rounded_away(self, cosim):
+        # 0.11 / 0.05 rounds to 2: the old code simulated 0.10 s and
+        # labelled it 0.11.
+        samples = cosim.run_step_response(
+            0.1, 1.0, duration_s=0.11, dt_s=0.05
+        )
+        assert samples[-1].time_s == pytest.approx(0.11)
+        assert len(samples) == 4
+
+    def test_single_full_step(self, cosim):
+        samples = cosim.run_step_response(0.1, 1.0, duration_s=0.05,
+                                          dt_s=0.05)
+        assert [s.time_s for s in samples] == pytest.approx([0.0, 0.05])
+
+    def test_full_steps_share_one_factorization(self, monkeypatch):
+        """All full steps pass dt exactly, so the per-dt transient LU
+        cache factorizes once per trajectory (not once per drifted
+        float step)."""
+        import repro.thermal.model as thermal_model
+
+        dts = []
+        real = thermal_model.factorize_transient
+
+        def counting(matrix, capacitance, dt_s):
+            dts.append(dt_s)
+            return real(matrix, capacitance, dt_s)
+
+        monkeypatch.setattr(thermal_model, "factorize_transient", counting)
+        fresh = TransientCosim(CosimConfig(nx=22, ny=11, n_curve_points=30))
+        fresh.run_step_response(0.1, 1.0, duration_s=0.5, dt_s=0.05)
+        assert dts == [0.025]
+
+    def test_final_full_step_time_is_exactly_duration(self, cosim):
+        samples = cosim.run_step_response(0.1, 1.0, duration_s=0.5,
+                                          dt_s=0.05)
+        # Not just approx: 10 * 0.05 accumulates float drift; the label
+        # must not.
+        assert samples[-1].time_s == 0.5
+
+
 class TestSettlingTime:
     def test_millisecond_scale(self, cosim, step_up):
         """The thermal time constant is O(100 ms) — fast enough for DVFS
@@ -69,3 +126,36 @@ class TestSettlingTime:
     def test_rejects_bad_fraction(self, cosim, step_up):
         with pytest.raises(ConfigurationError):
             cosim.settling_time_s(step_up, 1.5)
+
+    def test_overshoot_does_not_settle_early(self, cosim):
+        """Regression: the first crossing of the start->end span used to be
+        reported even when the trajectory overshot and came back."""
+        trajectory = [
+            TransientSample(0.0, 30.0, 27.0, 6.0),
+            TransientSample(0.1, 55.0, 29.0, 6.1),  # overshoot through 50
+            TransientSample(0.2, 48.5, 28.5, 6.05),  # 1.5 C out of band
+            TransientSample(0.3, 50.0, 28.4, 6.04),
+            TransientSample(0.4, 50.0, 28.4, 6.04),
+        ]
+        # Band at fraction 0.95: 0.05 * |50 - 30| = 1.0 C around 50 C. The
+        # old first-crossing rule reported 0.1 s; the trajectory is last
+        # outside the band at 0.2 s, so it settles at 0.3 s.
+        assert cosim.settling_time_s(trajectory, 0.95) == pytest.approx(0.3)
+
+    def test_excursion_with_equal_endpoints_settles_after_it(self, cosim):
+        trajectory = [
+            TransientSample(0.0, 40.0, 30.0, 6.0),
+            TransientSample(0.1, 45.0, 31.0, 6.2),
+            TransientSample(0.2, 40.0, 30.0, 6.0),
+            TransientSample(0.3, 40.0, 30.0, 6.0),
+        ]
+        assert cosim.settling_time_s(trajectory) == pytest.approx(0.2)
+
+    def test_empty_sample_list_raises(self, cosim):
+        """Regression: used to raise IndexError on samples[0]."""
+        with pytest.raises(ConfigurationError):
+            cosim.settling_time_s([])
+
+    def test_single_sample_settles_at_its_time(self, cosim):
+        only = [TransientSample(0.25, 40.0, 30.0, 6.0)]
+        assert cosim.settling_time_s(only) == pytest.approx(0.25)

@@ -1,0 +1,44 @@
+"""Tests for the evaluator registry and the transient step evaluator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import ScenarioSpec, evaluate_spec, evaluator_names, get_evaluator
+
+
+class TestRegistry:
+    def test_builtin_evaluators_registered(self):
+        names = evaluator_names()
+        for name in ("operating_point", "geometry", "vrm", "cosim",
+                     "transient", "workload"):
+            assert name in names
+
+    def test_unknown_evaluator_raises_with_listing(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            get_evaluator("no_such_evaluator")
+
+
+class TestTransientEvaluator:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        spec = ScenarioSpec(
+            evaluator="transient", nx=22, ny=11,
+            utilization_before=0.1, utilization=1.0,
+            step_duration_s=0.1, step_dt_s=0.05,
+        )
+        return evaluate_spec(spec)
+
+    def test_step_up_warms_and_generates_more(self, metrics):
+        assert metrics["peak_swing_c"] > 0.0
+        assert metrics["current_swing_a"] > 0.0
+        assert metrics["final_peak_c"] > metrics["initial_peak_c"]
+
+    def test_sample_count_covers_horizon(self, metrics):
+        # 0.1 s at 0.05 s steps: t = 0, 0.05, 0.1.
+        assert metrics["n_samples"] == 3.0
+
+    def test_settling_time_within_horizon(self, metrics):
+        assert 0.0 <= metrics["settling_time_s"] <= 0.1
+
+    def test_metrics_are_plain_floats(self, metrics):
+        assert all(isinstance(v, float) for v in metrics.values())

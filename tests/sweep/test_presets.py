@@ -11,7 +11,7 @@ from repro.sweep import get_preset, preset_names
 class TestPresets:
     def test_known_presets(self):
         assert preset_names() == (
-            "cosim", "flow", "geometry", "vrm", "workloads"
+            "cosim", "flow", "geometry", "transient", "vrm", "workloads"
         )
 
     def test_unknown_preset_raises(self):
@@ -24,6 +24,7 @@ class TestPresets:
         ("vrm", "vrm"),
         ("workloads", "workload"),
         ("cosim", "cosim"),
+        ("transient", "transient"),
     ])
     def test_preset_targets_its_evaluator(self, name, evaluator):
         preset = get_preset(name)

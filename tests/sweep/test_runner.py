@@ -113,6 +113,26 @@ class TestMemoization:
         assert first[1].metrics["double_flow"] == 96.0
         assert runner.run(cheap_specs(48.0)).metric("double_flow") == [96.0]
 
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        """Regression: a truncated <hash>.json (interrupted non-atomic
+        writer from another tool) used to crash the whole sweep."""
+        spec = cheap_specs(48.0)[0]
+        (tmp_path / f"{spec.cache_key()}.json").write_text('{"double_fl')
+        cache = SweepCache(directory=tmp_path)
+        assert cache.get(spec.cache_key()) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        # The runner re-evaluates and atomically replaces the bad file.
+        results = SweepRunner(cache=cache).run([spec])
+        assert results.metric("double_flow") == [96.0]
+        fresh = SweepCache(directory=tmp_path)
+        assert fresh.get(spec.cache_key()) == results[0].metrics
+
+    def test_non_dict_cache_payload_is_a_miss(self, tmp_path):
+        spec = cheap_specs(676.0)[0]
+        (tmp_path / f"{spec.cache_key()}.json").write_text("[1, 2, 3]\n")
+        cache = SweepCache(directory=tmp_path)
+        assert cache.get(spec.cache_key()) is None
+
 
 class TestParallel:
     def test_parallel_matches_serial_bit_for_bit(self):

@@ -25,6 +25,11 @@ class TestScenarioSpec:
         {"operating_voltage_v": 0.0},
         {"utilization": 1.5},
         {"utilization": -0.1},
+        {"utilization_before": 1.5},
+        {"utilization_before": -0.1},
+        {"step_duration_s": 0.0},
+        {"step_dt_s": 0.0},
+        {"step_dt_s": 0.2, "step_duration_s": 0.1},
         {"nx": 1},
         {"vrm": "bucK"},
         {"workload": "full loda"},
