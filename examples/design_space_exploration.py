@@ -1,28 +1,35 @@
 """Design-space exploration: sizing the integrated power-cooling network.
 
 The paper's outlook asks how far the technology can be pushed. This script
-sweeps the two main design knobs — channel width (at fixed wall width) and
-total flow rate — through the :mod:`repro.sweep` engine and maps the
-feasible region: cache demand met, junction below 85 C, and positive net
-energy (generation minus pumping at the paper's 50 % pump efficiency).
+answers it with the :mod:`repro.opt` optimization engine in two passes:
 
-The same study runs from the shell, denser and in parallel, as
-``python -m repro sweep geometry --points 48 --jobs 4``.
+1. map the feasible region of the channel-width x total-flow plane (cache
+   demand met, junction below 85 C, positive net energy) on a coarse
+   sweep, as before;
+2. run the ``geometry-pareto`` optimization preset, which extracts the
+   frontier of non-dominated designs — maximum net power vs minimum peak
+   temperature — from the same evaluations.
+
+The same studies run from the shell as
+``python -m repro sweep geometry --points 48`` and
+``python -m repro optimize geometry-pareto``.
 
 Run:  python examples/design_space_exploration.py
 """
 
 from repro.core.report import format_table
+from repro.opt import get_preset
 from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
 from repro.sweep.evaluators import CACHE_DEMAND_W, TEMPERATURE_LIMIT_C
 
 
-def main() -> None:
+def feasible_region(runner: SweepRunner) -> None:
+    """Coarse feasibility map over channel width x total flow."""
     grid = SweepGrid.from_dict({
         "channel_width_um": (150.0, 200.0, 300.0),
         "total_flow_ml_min": (169.0, 338.0, 676.0, 1352.0),
     })
-    results = SweepRunner().run(
+    results = runner.run(
         grid.expand(ScenarioSpec(evaluator="geometry", wall_width_um=100.0))
     )
 
@@ -48,15 +55,48 @@ def main() -> None:
         rows, precision=3,
     ))
     feasible = [r for r in results if r.metrics["feasible"]]
-    print(f"\n{len(feasible)} of {len(results)} design points are feasible.")
-    if feasible:
-        best = max(feasible, key=lambda r: r.metrics["net_w"])
-        print(
-            f"Best net energy: w = {best.spec.channel_width_um:g} um at "
-            f"{best.spec.total_flow_ml_min:g} ml/min "
-            f"(net {best.metrics['net_w']:.2f} W) — the paper's Table II "
-            "point (200 um, 676 ml/min) sits inside the feasible region."
-        )
+    print(f"\n{len(feasible)} of {len(results)} design points are feasible; "
+          "the paper's Table II point (200 um, 676 ml/min) sits inside "
+          "the feasible region.")
+
+
+def pareto_frontier(runner: SweepRunner) -> None:
+    """The non-dominated designs: net power vs peak temperature."""
+    preset = get_preset("geometry-pareto")
+    result = preset.optimizer(runner=runner).run()
+
+    print("\nPareto frontier: max net power vs min peak temperature")
+    print(f"({preset.description}; {result.n_evaluated} evaluation(s), "
+          f"{result.n_cached} cache hit(s))\n")
+    print(format_table(
+        ["w [um]", "flow [ml/min]", "net [W]", "peak T [C]"],
+        [
+            [
+                r.spec.channel_width_um,
+                r.spec.total_flow_ml_min,
+                r.metrics["net_w"],
+                r.metrics["peak_temperature_c"],
+            ]
+            for r in result.frontier
+        ],
+        precision=3,
+    ))
+    best = result.best
+    print(
+        f"\nBest net energy on the frontier: w = "
+        f"{best.spec.channel_width_um:g} um at "
+        f"{best.spec.total_flow_ml_min:g} ml/min "
+        f"(net {best.metrics['net_w']:.2f} W, "
+        f"peak {best.metrics['peak_temperature_c']:.1f} C). "
+        "Every other frontier point trades net power for a cooler "
+        "junction."
+    )
+
+
+def main() -> None:
+    runner = SweepRunner()  # shared cache: the frontier reuses the map
+    feasible_region(runner)
+    pareto_frontier(runner)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,8 @@ electric power for the die it cools. Subpackages:
 - :mod:`repro.casestudy` — Table I / Table II configurations.
 - :mod:`repro.sweep` — batch scenario-sweep engine (grids, memoization,
   process parallelism, CSV/JSON export).
+- :mod:`repro.opt` — design-space optimization over the sweep engine
+  (objectives/constraints, Pareto frontiers, adaptive refinement).
 """
 
 __version__ = "1.0.0"

@@ -9,8 +9,11 @@ Gives the reproduction a zero-code entry point:
 - ``cosim``   — the Section III-B coupling scenarios;
 - ``sweep``   — batch design-space exploration through the
   :mod:`repro.sweep` engine (named presets, process parallelism,
-  CSV/JSON export).
+  CSV/JSON export);
+- ``optimize`` — design-space optimization through :mod:`repro.opt`
+  (objectives + constraints, Pareto frontiers, adaptive refinement).
 
+``sweep --list`` and ``optimize --list`` print the available presets.
 Every command is a thin wrapper over the public API, so the CLI doubles as
 usage documentation; ``docs/cli.md`` walks through each one.
 """
@@ -120,9 +123,24 @@ def _cmd_cosim(_: argparse.Namespace) -> int:
     return 0
 
 
+def _print_presets(presets: "dict[str, object]") -> None:
+    """One line per preset: name + description, name-sorted."""
+    width = max(len(name) for name in presets)
+    for name in sorted(presets):
+        print(f"{name:<{width}}  {presets[name].description}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import SweepCache, SweepRunner, get_preset
+    from repro.sweep.presets import PRESETS
 
+    if args.list:
+        _print_presets(PRESETS)
+        return 0
+    if args.preset is None:
+        print("repro sweep: error: a preset name is required "
+              "(see --list)", file=sys.stderr)
+        return 2
     preset = get_preset(args.preset)
     specs = preset.expand(args.points)
     runner = SweepRunner(
@@ -144,6 +162,96 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"CSV written to {results.save_csv(args.csv)}")
     if args.json:
         print(f"JSON written to {results.save_json(args.json)}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core.report import format_table
+    from repro.opt import get_preset
+    from repro.opt.presets import PRESETS
+    from repro.sweep import SweepCache, SweepRunner
+
+    if args.list:
+        _print_presets(PRESETS)
+        return 0
+    if args.preset is None:
+        print("repro optimize: error: a preset name is required "
+              "(see --list)", file=sys.stderr)
+        return 2
+    preset = get_preset(args.preset)
+    runner = SweepRunner(
+        n_workers=args.jobs, cache=SweepCache(directory=args.cache_dir)
+    )
+    result = preset.optimizer(runner=runner, max_rounds=args.rounds).run()
+
+    problem = preset.problem
+    print(
+        f"optimize '{preset.name}' — {preset.description}\n"
+        f"objectives: "
+        f"{', '.join(o.describe() for o in problem.objectives)}"
+    )
+    if problem.constraints:
+        print("constraints: "
+              f"{', '.join(c.describe() for c in problem.constraints)}")
+    print()
+    print(format_table(
+        ["round", "scenarios", "evaluated", "cached", "front", "bounds"],
+        [
+            [
+                r.index, r.n_scenarios, r.n_evaluated, r.n_cached,
+                r.front_size,
+                "  ".join(
+                    f"{field}=[{lo:g}, {hi:g}]" for field, lo, hi in r.spans
+                ),
+            ]
+            for r in result.rounds
+        ],
+    ))
+    if not len(result.frontier):
+        print("\nno feasible design point found — every scenario violates "
+              "a constraint")
+        return 1
+    print(f"\nPareto frontier ({len(result.frontier)} point(s)):\n")
+    # Explicit columns: the table's varying-fields default would drop
+    # any design axis that takes a single value on the frontier (always
+    # the case for a converged scalar search).
+    axis_fields = [axis.field for axis in problem.axes]
+    metric_names = [
+        key for key in result.frontier[0].record()
+        if key not in result.frontier[0].spec.field_names()
+    ]
+    print(result.frontier.table(axis_fields + metric_names))
+    best = result.best
+    lead = problem.objectives[0]
+    def show(value: object) -> str:
+        return f"{value:g}" if isinstance(value, float) else str(value)
+
+    print(
+        f"\nbest ({lead.describe()}): {lead.metric} = "
+        f"{best.metrics[lead.metric]:.4g} at "
+        + ", ".join(
+            f"{field}={show(getattr(best.spec, field))}"
+            for field in (axis.field for axis in problem.axes)
+        )
+    )
+    status = {
+        "converged": "converged to tolerance",
+        "front_spans_region":
+            "stopped (front spans the remaining search region)",
+        "budget":
+            "stopped (round budget exhausted while still refining; "
+            "raise --rounds to tighten further)",
+    }[result.stop_reason]
+    print(
+        f"{status} after {len(result.rounds)} round(s); "
+        f"{result.n_evaluated} evaluation(s), {result.n_cached} from cache"
+    )
+    if args.csv:
+        print(f"frontier CSV written to {result.frontier.save_csv(args.csv)}")
+    if args.json:
+        print(
+            f"frontier JSON written to {result.frontier.save_json(args.json)}"
+        )
     return 0
 
 
@@ -181,9 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
     # main), not via choices=: importing repro.sweep here would put the
     # whole model stack on every CLI invocation's startup path.
     sweep.add_argument(
-        "preset",
+        "preset", nargs="?", default=None,
         help="which design study to run: flow, geometry, vrm, "
-        "workloads, cosim or transient",
+        "workloads, cosim or transient (see --list)",
+    )
+    sweep.add_argument(
+        "--list", action="store_true",
+        help="print the available presets with descriptions and exit",
     )
     sweep.add_argument(
         "--points", type=int, default=None, metavar="N",
@@ -206,6 +318,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH", help="export records as JSON"
     )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    optimize = commands.add_parser(
+        "optimize",
+        help="design-space optimization (see docs/optimization.md)",
+        description="Run a named optimization preset: adaptive grid "
+        "refinement toward the objective(s) under the constraints, "
+        "through the sweep engine's cache and process pool.",
+    )
+    optimize.add_argument(
+        "preset", nargs="?", default=None,
+        help="which design question to answer: flow-optimum, "
+        "geometry-pareto or vrm-tradeoff (see --list)",
+    )
+    optimize.add_argument(
+        "--list", action="store_true",
+        help="print the available presets with descriptions and exit",
+    )
+    optimize.add_argument(
+        "--rounds", type=int, default=None, metavar="N",
+        help="refinement-round budget (default: the preset's own)",
+    )
+    optimize.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool size per round; 1 runs in-process (default)",
+    )
+    optimize.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist per-scenario results under DIR; a re-run replays "
+        "the search with no new evaluations",
+    )
+    optimize.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="export the Pareto frontier as CSV",
+    )
+    optimize.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="export the Pareto frontier as JSON",
+    )
+    optimize.set_defaults(handler=_cmd_optimize)
     return parser
 
 

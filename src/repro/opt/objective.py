@@ -1,0 +1,131 @@
+"""Objectives and constraints over sweep metrics.
+
+The optimization engine searches the metrics dicts produced by
+:mod:`repro.sweep` evaluators, so both classes here are *names into those
+dicts* plus a direction or a bound:
+
+- an :class:`Objective` says which metric to improve and whether larger or
+  smaller is better (``max net_w``, ``min peak_temperature_c``);
+- a :class:`Constraint` says which metric must stay on the right side of a
+  bound (``peak_temperature_c <= 85``, ``delivered_w >= 5``).
+
+Both are frozen dataclasses of plain scalars, so optimization problems
+hash, pickle and serialize exactly like the :class:`~repro.sweep.spec.ScenarioSpec`
+scenarios they steer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Objective directions.
+MODES = ("max", "min")
+
+#: Constraint comparison operators.
+OPS = ("<=", ">=")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One metric to extremize.
+
+    Parameters
+    ----------
+    metric:
+        Key into the evaluator's metrics dict (e.g. ``net_w``).
+    mode:
+        ``"max"`` (larger is better) or ``"min"`` (smaller is better).
+
+    Example
+    -------
+    >>> Objective("net_w").oriented(1.5)
+    1.5
+    >>> Objective("peak_temperature_c", "min").oriented(41.0)
+    -41.0
+    """
+
+    metric: str
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ConfigurationError("objective needs a metric name")
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"objective mode must be one of {MODES}, got {self.mode!r}"
+            )
+
+    def oriented(self, value: float) -> float:
+        """The value mapped so that *larger is always better*.
+
+        Pareto dominance and ``best`` rankings are computed on oriented
+        values, so minimized metrics simply flip sign.
+        """
+        return float(value) if self.mode == "max" else -float(value)
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``max net_w``."""
+        return f"{self.mode} {self.metric}"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One metric bound a feasible scenario must satisfy.
+
+    A metric that is missing from a result, or NaN, fails the constraint
+    (an evaluator that could not produce the number cannot certify the
+    design point).
+
+    Parameters
+    ----------
+    metric:
+        Key into the evaluator's metrics dict.
+    bound:
+        The limit value.
+    op:
+        ``"<="`` (stay at or below the bound) or ``">="``.
+
+    Example
+    -------
+    >>> limit = Constraint("peak_temperature_c", 85.0, "<=")
+    >>> limit.satisfied({"peak_temperature_c": 82.0})
+    True
+    >>> limit.margin({"peak_temperature_c": 82.0})
+    3.0
+    """
+
+    metric: str
+    bound: float
+    op: str = "<="
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ConfigurationError("constraint needs a metric name")
+        if self.op not in OPS:
+            raise ConfigurationError(
+                f"constraint op must be one of {OPS}, got {self.op!r}"
+            )
+        object.__setattr__(self, "bound", float(self.bound))
+
+    def margin(self, metrics: "dict[str, float]") -> float:
+        """Signed slack: positive inside the feasible region, NaN if the
+        metric is absent or NaN."""
+        value = metrics.get(self.metric)
+        if value is None:
+            return math.nan
+        value = float(value)
+        if math.isnan(value):
+            return math.nan
+        return self.bound - value if self.op == "<=" else value - self.bound
+
+    def satisfied(self, metrics: "dict[str, float]") -> bool:
+        """Whether the metrics meet the bound (NaN/missing -> False)."""
+        margin = self.margin(metrics)
+        return not math.isnan(margin) and margin >= 0.0
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``peak_temperature_c <= 85``."""
+        return f"{self.metric} {self.op} {self.bound:g}"

@@ -1,0 +1,130 @@
+"""Pareto-front extraction over evaluated sweep results.
+
+Dominance is computed on *oriented* objective vectors (every objective
+mapped so larger is better, see :meth:`repro.opt.objective.Objective.oriented`):
+point ``a`` dominates point ``b`` when it is at least as good in every
+objective and strictly better in at least one. The non-dominated set of a
+batch is its Pareto front.
+
+Conventions the edge-case tests pin down:
+
+- a single feasible point is its own front;
+- points with *identical* objective vectors do not dominate each other, so
+  ties survive together;
+- a point with a NaN objective value is excluded (it can neither dominate
+  nor certify anything);
+- constraint-infeasible points are filtered out before dominance, so a
+  fully infeasible batch yields an empty front.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.opt.objective import Constraint, Objective
+from repro.sweep.runner import SweepResult
+
+
+def dominates(
+    a: "Sequence[float]", b: "Sequence[float]"
+) -> bool:
+    """Whether oriented vector ``a`` Pareto-dominates ``b``.
+
+    Both vectors must already be oriented (larger is better in every
+    component). Equal vectors do not dominate each other.
+    """
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"objective vectors differ in length ({len(a)} vs {len(b)})"
+        )
+    at_least_as_good = all(x >= y for x, y in zip(a, b))
+    strictly_better = any(x > y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_indices(vectors: "Sequence[Sequence[float]]") -> "list[int]":
+    """Indices of the non-dominated vectors, in input order.
+
+    Vectors are oriented (larger is better). A vector containing NaN is
+    never on the front. Duplicate vectors are all kept: neither dominates
+    the other.
+    """
+    finite = [
+        index
+        for index, vector in enumerate(vectors)
+        if not any(math.isnan(float(v)) for v in vector)
+    ]
+    front: "list[int]" = []
+    for index in finite:
+        if not any(
+            dominates(vectors[other], vectors[index])
+            for other in finite
+            if other != index
+        ):
+            front.append(index)
+    return front
+
+
+def feasible_results(
+    results: "Sequence[SweepResult]",
+    constraints: "Sequence[Constraint]" = (),
+) -> "list[SweepResult]":
+    """The results satisfying every constraint, in input order."""
+    return [
+        result
+        for result in results
+        if all(c.satisfied(result.metrics) for c in constraints)
+    ]
+
+
+def objective_vector(
+    result: SweepResult, objectives: "Sequence[Objective]"
+) -> "tuple[float, ...]":
+    """The oriented objective vector of one result.
+
+    A metric missing from the result raises (that is a problem
+    specification error, unlike a constraint miss which just marks the
+    point infeasible); NaN values pass through and exclude the point from
+    the front downstream.
+    """
+    vector = []
+    for objective in objectives:
+        if objective.metric not in result.metrics:
+            raise ConfigurationError(
+                f"objective metric {objective.metric!r} not in result "
+                f"metrics {sorted(result.metrics)}"
+            )
+        vector.append(objective.oriented(result.metrics[objective.metric]))
+    return tuple(vector)
+
+
+def pareto_front(
+    results: "Sequence[SweepResult]",
+    objectives: "Sequence[Objective]",
+    constraints: "Sequence[Constraint]" = (),
+) -> "list[SweepResult]":
+    """Non-dominated, feasible results, best-first.
+
+    The front is sorted by the first objective (oriented, descending),
+    then the remaining objectives as tie-breakers, so ``front[0]`` is the
+    incumbent for single-objective problems and table output is stable.
+
+    Example
+    -------
+    >>> from repro.sweep import ScenarioSpec, SweepRunner
+    >>> runner = SweepRunner()
+    >>> results = runner.run([ScenarioSpec(total_flow_ml_min=f)
+    ...                       for f in (169.0, 676.0)])
+    >>> front = pareto_front(results, [Objective("net_w")])
+    >>> front[0].spec.total_flow_ml_min
+    169.0
+    """
+    if not objectives:
+        raise ConfigurationError("pareto_front needs at least one objective")
+    candidates = feasible_results(results, constraints)
+    vectors = [objective_vector(r, objectives) for r in candidates]
+    picked = pareto_indices(vectors)
+    picked.sort(key=lambda index: vectors[index], reverse=True)
+    return [candidates[index] for index in picked]

@@ -15,7 +15,13 @@ Typical use::
     results = SweepRunner().run(grid.expand(ScenarioSpec()))
     print(results.table())
 
-or, from the shell, ``python -m repro sweep flow --points 100``.
+or, from the shell, ``python -m repro sweep flow --points 100``
+(``python -m repro sweep --list`` prints the available presets).
+
+:mod:`repro.opt` layers design-space *optimization* on this engine:
+objectives/constraints over the evaluator metrics, Pareto-front
+extraction, and adaptive grid refinement — every candidate it evaluates
+flows through :class:`SweepRunner` and lands in the same cache.
 """
 
 from repro.sweep.evaluators import (

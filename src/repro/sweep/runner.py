@@ -262,7 +262,28 @@ class SweepRunner:
     def run(
         self, scenarios: "Sequence[ScenarioSpec] | SweepGrid"
     ) -> SweepResults:
-        """Evaluate every scenario, returning results in input order."""
+        """Evaluate every scenario, returning results in input order.
+
+        Accepts either an explicit spec list or a
+        :class:`~repro.sweep.spec.SweepGrid` (expanded against a default
+        base spec). Physically identical specs are evaluated once; a
+        spec already in the cache is not evaluated at all, so reusing a
+        runner (or sharing its :class:`SweepCache`) across studies makes
+        overlapping grids nearly free — this is what the
+        :mod:`repro.opt` refinement loop builds on.
+
+        Example
+        -------
+        >>> from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
+        >>> runner = SweepRunner()
+        >>> grid = SweepGrid.from_dict(
+        ...     {"total_flow_ml_min": [338.0, 676.0]})
+        >>> results = runner.run(grid.expand(ScenarioSpec()))
+        >>> [round(r.metrics["peak_temperature_c"], 1) for r in results]
+        [46.3, 42.0]
+        >>> runner.run(grid.expand(ScenarioSpec()))[0].from_cache
+        True
+        """
         if isinstance(scenarios, SweepGrid):
             specs = scenarios.expand()
         else:

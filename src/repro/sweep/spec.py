@@ -73,6 +73,16 @@ class ScenarioSpec:
     label:
         Free-form tag copied into result records; not part of the
         scenario's identity hash.
+
+    Example
+    -------
+    >>> nominal = ScenarioSpec()          # the Table II design point
+    >>> low_flow = nominal.replace(total_flow_ml_min=48.0, label="stress")
+    >>> low_flow.total_flow_ml_min
+    48.0
+    >>> # label is cosmetic: relabelling never busts the memoization key
+    >>> low_flow.cache_key() == low_flow.replace(label="x").cache_key()
+    True
     """
 
     evaluator: str = "operating_point"

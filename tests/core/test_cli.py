@@ -49,3 +49,75 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "bright-silicon utilization" in output
         assert "pumping power [W]" in output
+
+
+class TestPresetListing:
+    def test_sweep_list_prints_presets(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("flow", "geometry", "vrm", "workloads", "cosim",
+                     "transient"):
+            assert name in output
+        # one line per preset, each carrying a description
+        assert "cooling vs generation vs pumping" in output
+
+    def test_optimize_list_prints_presets(self, capsys):
+        assert main(["optimize", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("flow-optimum", "geometry-pareto", "vrm-tradeoff"):
+            assert name in output
+
+    def test_sweep_without_preset_errors(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--list" in capsys.readouterr().err
+
+    def test_optimize_without_preset_errors(self, capsys):
+        assert main(["optimize"]) == 2
+        assert "--list" in capsys.readouterr().err
+
+    def test_optimize_unknown_preset_errors(self, capsys):
+        assert main(["optimize", "nonsense"]) == 2
+        assert "unknown optimization preset" in capsys.readouterr().err
+
+
+class TestOptimizeCommand:
+    def test_flow_optimum_single_round(self, capsys, tmp_path):
+        csv_path = tmp_path / "frontier.csv"
+        assert main([
+            "optimize", "flow-optimum", "--rounds", "1",
+            "--csv", str(csv_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "best (max net_w)" in output
+        assert "peak_temperature_c <= 85" in output
+        # Budget exhaustion is reported as such, not as a finished front.
+        assert "round budget exhausted" in output
+        # The frontier table keeps the design-axis column even when the
+        # frontier collapses to a single point.
+        assert "total_flow_ml_min" in output.split("Pareto frontier")[1]
+        assert csv_path.is_file()
+        from repro.io import load_csv
+
+        records = load_csv(csv_path)
+        assert len(records) >= 1
+        assert all(record["net_w"] > 0 for record in records)
+
+    def test_vrm_tradeoff_formats_categorical_axis(self, capsys):
+        # Regression: the best-point line must not apply numeric
+        # formatting to the categorical vrm axis value.
+        assert main(["optimize", "vrm-tradeoff"]) == 0
+        output = capsys.readouterr().out
+        assert "vrm=sc" in output
+        assert "Pareto frontier" in output
+
+    def test_cache_dir_replays_with_no_new_evaluations(self, capsys,
+                                                       tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = ["optimize", "flow-optimum", "--rounds", "1",
+                "--cache-dir", cache_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "9 evaluation(s)" in first
+        assert "0 evaluation(s), 9 from cache" in second

@@ -1,0 +1,179 @@
+"""Pareto-front extraction edge cases.
+
+The fabricated results below bypass the evaluators entirely: a
+:class:`SweepResult` is just a spec plus a metrics dict, so fronts can be
+pinned down point by point.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.opt import (
+    Constraint,
+    Objective,
+    dominates,
+    feasible_results,
+    objective_vector,
+    pareto_front,
+    pareto_indices,
+)
+from repro.sweep import ScenarioSpec, SweepResult
+
+MAX_NET = Objective("net_w", "max")
+MIN_PEAK = Objective("peak_temperature_c", "min")
+TEMP_LIMIT = Constraint("peak_temperature_c", 85.0, "<=")
+
+
+def result(net_w: float, peak_c: float, label: str = "") -> SweepResult:
+    """A hand-built result; the label keeps specs physically identical."""
+    return SweepResult(
+        spec=ScenarioSpec(label=label),
+        metrics={"net_w": net_w, "peak_temperature_c": peak_c},
+        elapsed_s=0.0,
+        from_cache=False,
+    )
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((2.0, 2.0), (1.0, 1.0))
+
+    def test_better_in_one_equal_in_other(self):
+        assert dominates((2.0, 1.0), (1.0, 1.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((2.0, 0.0), (1.0, 1.0))
+        assert not dominates((1.0, 1.0), (2.0, 0.0))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoIndices:
+    def test_single_point_is_its_own_front(self):
+        assert pareto_indices([(1.0, 1.0)]) == [0]
+
+    def test_all_dominated_leaves_only_the_dominator(self):
+        vectors = [(3.0, 3.0), (1.0, 1.0), (2.0, 2.0), (0.0, 3.0)]
+        assert pareto_indices(vectors) == [0]
+
+    def test_ties_on_one_objective_both_kept(self):
+        # Same net power, different peaks: only the cooler one survives
+        # in 2-D; in 1-D (the tied objective alone) both survive.
+        vectors_2d = [(5.0, -80.0), (5.0, -70.0)]
+        assert pareto_indices(vectors_2d) == [1]
+        vectors_1d = [(5.0,), (5.0,)]
+        assert pareto_indices(vectors_1d) == [0, 1]
+
+    def test_identical_vectors_all_kept(self):
+        vectors = [(5.0, -80.0), (5.0, -80.0), (4.0, -70.0)]
+        assert pareto_indices(vectors) == [0, 1, 2]
+
+    def test_nan_vector_excluded(self):
+        vectors = [(math.nan, 1.0), (1.0, 1.0)]
+        assert pareto_indices(vectors) == [1]
+
+    def test_empty_input(self):
+        assert pareto_indices([]) == []
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        front = pareto_front([result(1.0, 60.0)], [MAX_NET])
+        assert len(front) == 1
+        assert front[0].metrics["net_w"] == 1.0
+
+    def test_all_dominated_set_collapses(self):
+        batch = [result(1.0, 70.0), result(2.0, 60.0), result(3.0, 50.0)]
+        front = pareto_front(batch, [MAX_NET, MIN_PEAK])
+        assert [r.metrics["net_w"] for r in front] == [3.0]
+
+    def test_tradeoff_curve_survives_whole(self):
+        batch = [result(3.0, 80.0), result(2.0, 60.0), result(1.0, 40.0)]
+        front = pareto_front(batch, [MAX_NET, MIN_PEAK])
+        assert len(front) == 3
+        # Best-first by the leading objective.
+        assert [r.metrics["net_w"] for r in front] == [3.0, 2.0, 1.0]
+
+    def test_ties_on_one_objective(self):
+        batch = [result(5.0, 60.0, "a"), result(5.0, 60.0, "b"),
+                 result(4.0, 70.0)]
+        front = pareto_front(batch, [MAX_NET, MIN_PEAK])
+        assert len(front) == 2
+        assert {r.spec.label for r in front} == {"a", "b"}
+
+    def test_constraint_infeasible_batch_yields_empty_front(self):
+        batch = [result(7.0, 94.0), result(8.0, 99.0)]
+        assert pareto_front(batch, [MAX_NET], [TEMP_LIMIT]) == []
+
+    def test_constraint_filters_before_dominance(self):
+        # The hottest point has the best net power but violates the
+        # limit; the front must come from the feasible remainder.
+        batch = [result(7.0, 94.0), result(5.0, 80.0), result(4.0, 70.0)]
+        front = pareto_front(batch, [MAX_NET], [TEMP_LIMIT])
+        assert [r.metrics["net_w"] for r in front] == [5.0]
+
+    def test_missing_objective_metric_raises(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front([result(1.0, 60.0)], [Objective("nonexistent")])
+
+    def test_no_objectives_raises(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front([result(1.0, 60.0)], [])
+
+    def test_nan_objective_point_excluded(self):
+        batch = [result(math.nan, 60.0), result(1.0, 70.0)]
+        front = pareto_front(batch, [MAX_NET])
+        assert [r.metrics["net_w"] for r in front] == [1.0]
+
+
+class TestFeasibleAndVectors:
+    def test_feasible_results_order_preserved(self):
+        batch = [result(1.0, 90.0), result(2.0, 70.0), result(3.0, 80.0)]
+        feasible = feasible_results(batch, [TEMP_LIMIT])
+        assert [r.metrics["net_w"] for r in feasible] == [2.0, 3.0]
+
+    def test_missing_constraint_metric_is_infeasible(self):
+        batch = [result(1.0, 60.0)]
+        bad = Constraint("nonexistent", 1.0, ">=")
+        assert feasible_results(batch, [bad]) == []
+
+    def test_nan_constraint_metric_is_infeasible(self):
+        assert feasible_results([result(1.0, math.nan)], [TEMP_LIMIT]) == []
+
+    def test_objective_vector_orientation(self):
+        vector = objective_vector(result(2.0, 80.0), [MAX_NET, MIN_PEAK])
+        assert vector == (2.0, -80.0)
+
+
+class TestObjectiveAndConstraintSpecs:
+    def test_objective_validation(self):
+        with pytest.raises(ConfigurationError):
+            Objective("")
+        with pytest.raises(ConfigurationError):
+            Objective("net_w", "maximize")
+
+    def test_objective_describe(self):
+        assert Objective("net_w").describe() == "max net_w"
+        assert MIN_PEAK.describe() == "min peak_temperature_c"
+
+    def test_constraint_validation(self):
+        with pytest.raises(ConfigurationError):
+            Constraint("", 1.0)
+        with pytest.raises(ConfigurationError):
+            Constraint("net_w", 1.0, "<")
+
+    def test_constraint_margin_and_describe(self):
+        limit = Constraint("peak_temperature_c", 85.0, "<=")
+        assert limit.margin({"peak_temperature_c": 80.0}) == 5.0
+        assert limit.describe() == "peak_temperature_c <= 85"
+        floor = Constraint("delivered_w", 5.0, ">=")
+        assert floor.margin({"delivered_w": 7.0}) == 2.0
+        assert not floor.satisfied({"delivered_w": 4.0})
+        assert math.isnan(floor.margin({}))

@@ -75,6 +75,16 @@ PACKAGES = [
     "repro.casestudy.power7plus",
     "repro.casestudy.stacked",
     "repro.casestudy.workloads",
+    "repro.sweep",
+    "repro.sweep.spec",
+    "repro.sweep.evaluators",
+    "repro.sweep.runner",
+    "repro.sweep.presets",
+    "repro.opt",
+    "repro.opt.objective",
+    "repro.opt.pareto",
+    "repro.opt.refine",
+    "repro.opt.presets",
 ]
 
 

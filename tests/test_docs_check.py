@@ -1,0 +1,178 @@
+"""Tests for tools/check_docs.py and the repository's own docs.
+
+The checker is a standalone script (it must run before the package is
+even importable), so it is loaded by file path. The link checks run
+against both synthetic fixtures and the real README/docs — the latter is
+the fast half of the CI docs-check gate, inside tier-1 so broken links
+fail close to the edit. Snippet *execution* of the real docs stays in the
+dedicated CI step (it runs subprocesses); here only extraction and a
+trivial run are covered.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(spec)
+# Register before exec: the @dataclass decorator resolves string
+# annotations through sys.modules[module.__name__].
+sys.modules["check_docs"] = check_docs
+spec.loader.exec_module(check_docs)
+
+
+class TestSlugsAndAnchors:
+    def test_slugify_github_style(self):
+        assert check_docs.slugify("The `optimize` command") == (
+            "the-optimize-command"
+        )
+        assert check_docs.slugify("Net power vs T_peak!") == (
+            "net-power-vs-t_peak"
+        )
+
+    def test_heading_anchors_with_duplicates(self):
+        text = "# Title\n## Part\ntext\n## Part\n"
+        assert check_docs.heading_anchors(text) == {
+            "title", "part", "part-1"
+        }
+
+    def test_headings_inside_fences_ignored(self):
+        text = "```bash\n# not a heading\n```\n# Real\n"
+        assert check_docs.heading_anchors(text) == {"real"}
+
+
+class TestLinkExtraction:
+    def test_extracts_targets_with_line_numbers(self):
+        text = "intro\nsee [docs](docs/cli.md) and [x](a.md#sec).\n"
+        assert check_docs.extract_links(text) == [
+            (2, "docs/cli.md"), (2, "a.md#sec"),
+        ]
+
+    def test_images_and_titles(self):
+        text = '![fig](img/fig.png)\n[t](file.md "a title")\n'
+        targets = [t for _, t in check_docs.extract_links(text)]
+        assert targets == ["img/fig.png", "file.md"]
+
+    def test_fenced_blocks_skipped(self):
+        text = "```python\nx = [a](b)\n```\n[real](target.md)\n"
+        assert check_docs.extract_links(text) == [(4, "target.md")]
+
+
+class TestCheckLinks:
+    @pytest.fixture()
+    def doc_tree(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "# Top\nsee [guide](docs/guide.md) "
+            "and [section](docs/guide.md#part-two)\n"
+        )
+        (tmp_path / "docs" / "guide.md").write_text(
+            "# Guide\n## Part Two\nback to [readme](../README.md) "
+            "and [here](#part-two)\n"
+        )
+        return tmp_path
+
+    def test_valid_tree_passes(self, doc_tree):
+        files = check_docs.markdown_files(doc_tree)
+        assert check_docs.check_links(doc_tree, files) == []
+
+    def test_broken_file_target_reported_with_location(self, doc_tree):
+        readme = doc_tree / "README.md"
+        readme.write_text(readme.read_text() + "\n[bad](docs/missing.md)\n")
+        errors = check_docs.check_links(
+            doc_tree, check_docs.markdown_files(doc_tree)
+        )
+        assert len(errors) == 1
+        assert "README.md:4" in errors[0]
+        assert "docs/missing.md" in errors[0]
+
+    def test_broken_anchor_reported(self, doc_tree):
+        guide = doc_tree / "docs" / "guide.md"
+        guide.write_text(guide.read_text() + "[bad](#no-such-part)\n")
+        errors = check_docs.check_links(
+            doc_tree, check_docs.markdown_files(doc_tree)
+        )
+        assert len(errors) == 1
+        assert "no heading for anchor" in errors[0]
+
+    def test_broken_cross_file_anchor_reported(self, doc_tree):
+        readme = doc_tree / "README.md"
+        readme.write_text("[x](docs/guide.md#nope)\n")
+        errors = check_docs.check_links(
+            doc_tree, check_docs.markdown_files(doc_tree)
+        )
+        assert len(errors) == 1
+        assert "#nope" in errors[0]
+
+    def test_external_links_ignored(self, doc_tree):
+        readme = doc_tree / "README.md"
+        readme.write_text(
+            "[a](https://example.com/x) [b](mailto:x@y.z)\n"
+        )
+        assert check_docs.check_links(doc_tree, [readme]) == []
+
+
+class TestSnippets:
+    def test_extraction_only_plain_python_fences(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```python\nprint('a')\n```\n"
+            "```python no-run\nraise SystemExit(1)\n```\n"
+            "```bash\nexit 1\n```\n"
+            "```python\nprint('b')\n```\n"
+        )
+        snippets = check_docs.extract_snippets(doc)
+        assert [s.code for s in snippets] == ["print('a')\n", "print('b')\n"]
+        assert [s.lineno for s in snippets] == [1, 10]
+
+    def test_run_snippets_reports_failures(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```python\nprint('fine')\n```\n"
+            "```python\nraise ValueError('boom')\n```\n"
+        )
+        errors = check_docs.run_snippets(tmp_path, [doc])
+        assert len(errors) == 1
+        assert "doc.md:4" in errors[0]
+        assert "boom" in errors[0]
+
+    def test_snippets_get_src_on_pythonpath(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "fakemod_docs_check.py").write_text("VALUE = 3\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```python\nimport fakemod_docs_check\n"
+            "assert fakemod_docs_check.VALUE == 3\n```\n"
+        )
+        assert check_docs.run_snippets(tmp_path, [doc]) == []
+
+
+class TestRealRepositoryDocs:
+    def test_markdown_files_found(self):
+        files = check_docs.markdown_files(REPO_ROOT)
+        names = {p.name for p in files}
+        assert "README.md" in names
+        assert "architecture.md" in names
+
+    def test_no_broken_links_in_tree(self):
+        files = check_docs.markdown_files(REPO_ROOT)
+        assert check_docs.check_links(REPO_ROOT, files) == []
+
+    def test_readme_quickstart_snippets_present(self):
+        snippets = check_docs.extract_snippets(REPO_ROOT / "README.md")
+        assert len(snippets) >= 2
+
+    def test_cli_main_exit_codes(self, tmp_path, capsys):
+        (tmp_path / "README.md").write_text("[ok](README.md)\n")
+        assert check_docs.main(["--root", str(tmp_path)]) == 0
+        (tmp_path / "README.md").write_text("[bad](gone.md)\n")
+        assert check_docs.main(
+            ["--root", str(tmp_path), "--no-snippets"]
+        ) == 1
+        capsys.readouterr()

@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""Docs checker: keep README/docs from silently rotting.
+
+Two checks over ``README.md`` and ``docs/*.md``:
+
+1. **Intra-repo links.** Every relative markdown link must point at a file
+   that exists (and, for ``#anchor`` fragments into markdown files, at a
+   heading that exists). External ``http(s)``/``mailto`` links are left
+   alone — this tool runs offline.
+2. **Quickstart snippets.** Every fenced code block tagged exactly
+   ``python`` is executed in a clean interpreter with ``PYTHONPATH=src``
+   from a scratch working directory; a snippet that raises fails the
+   check. Blocks tagged ``python no-run`` (or any other info string) are
+   skipped, so illustrative fragments can opt out.
+
+Run from the repository root (CI does)::
+
+    python tools/check_docs.py            # both checks
+    python tools/check_docs.py --no-snippets   # links only (fast)
+
+Exit code 0 when everything passes, 1 otherwise; every finding is printed
+as ``file:line: message``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Inline markdown links/images: ``[text](target)`` with an optional
+#: ``"title"`` part. The target group stops at whitespace or ``)``.
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+#: ATX headings, ``#`` through ``######``.
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: Link schemes that are not files in this repository.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_root() -> Path:
+    """The repository root (this file lives in ``<root>/tools/``)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def markdown_files(root: Path) -> "list[Path]":
+    """The files under check: README.md plus every docs/*.md."""
+    files = []
+    readme = root / "README.md"
+    if readme.is_file():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line's text."""
+    # Inline code/emphasis markers render away before slugging.
+    text = re.sub(r"[`*]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text: str) -> "set[str]":
+    """All anchor slugs a markdown document exposes.
+
+    Duplicate headings get ``-1``, ``-2`` ... suffixes, as GitHub
+    renders them.
+    """
+    anchors: "set[str]" = set()
+    counts: "dict[str, int]" = {}
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def extract_links(text: str) -> "list[tuple[int, str]]":
+    """``(line_number, target)`` for every inline link, fences excluded."""
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_links(root: Path, files: "list[Path]") -> "list[str]":
+    """Broken-link findings as ``file:line: message`` strings."""
+    errors = []
+    for path in files:
+        text = path.read_text()
+        own_anchors = None
+        for lineno, target in extract_links(text):
+            if target.startswith(_EXTERNAL):
+                continue
+            where = f"{path.relative_to(root)}:{lineno}"
+            if target.startswith("#"):
+                if own_anchors is None:
+                    own_anchors = heading_anchors(text)
+                if target[1:] not in own_anchors:
+                    errors.append(
+                        f"{where}: no heading for anchor {target!r}"
+                    )
+                continue
+            raw, _, fragment = target.partition("#")
+            resolved = (path.parent / raw).resolve()
+            if not resolved.exists():
+                errors.append(f"{where}: broken link target {target!r}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_anchors(resolved.read_text()):
+                    errors.append(
+                        f"{where}: {raw} has no heading for "
+                        f"anchor #{fragment}"
+                    )
+    return errors
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """One executable fenced block."""
+
+    path: Path
+    lineno: int
+    code: str
+
+
+def extract_snippets(path: Path) -> "list[Snippet]":
+    """Fenced blocks tagged exactly ``python`` (``python no-run`` opts out)."""
+    snippets = []
+    lines = path.read_text().splitlines()
+    fence_start = None
+    fence_tag = None
+    body: "list[str]" = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if fence_start is None:
+            if stripped.startswith("```"):
+                fence_start = lineno
+                fence_tag = stripped[3:].strip()
+                body = []
+            continue
+        if stripped.startswith("```"):
+            if fence_tag == "python":
+                snippets.append(
+                    Snippet(path, fence_start, "\n".join(body) + "\n")
+                )
+            fence_start = None
+            fence_tag = None
+            continue
+        body.append(line)
+    return snippets
+
+
+def run_snippets(
+    root: Path, files: "list[Path]", timeout_s: float = 240.0
+) -> "list[str]":
+    """Execute every ``python`` snippet; findings as ``file:line: ...``."""
+    errors = []
+    src = root / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{src}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(src)
+    )
+    for path in files:
+        for snippet in extract_snippets(path):
+            where = f"{path.relative_to(root)}:{snippet.lineno}"
+            with tempfile.TemporaryDirectory() as scratch:
+                script = Path(scratch) / "snippet.py"
+                script.write_text(snippet.code)
+                try:
+                    proc = subprocess.run(
+                        [sys.executable, str(script)],
+                        cwd=scratch,
+                        env=env,
+                        capture_output=True,
+                        text=True,
+                        timeout=timeout_s,
+                    )
+                except subprocess.TimeoutExpired:
+                    errors.append(
+                        f"{where}: snippet timed out after {timeout_s:g} s"
+                    )
+                    continue
+            if proc.returncode != 0:
+                tail = proc.stderr.strip().splitlines()[-1:] or ["(no stderr)"]
+                errors.append(
+                    f"{where}: snippet exited {proc.returncode}: {tail[0]}"
+                )
+    return errors
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate intra-repo markdown links and execute "
+        "fenced python snippets from README.md and docs/*.md."
+    )
+    parser.add_argument(
+        "--root", type=Path, default=default_root(),
+        help="repository root (default: the checkout containing this tool)",
+    )
+    parser.add_argument(
+        "--no-snippets", action="store_true",
+        help="only validate links (fast; no code execution)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=240.0, metavar="S",
+        help="per-snippet execution timeout in seconds (default: 240)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    files = markdown_files(root)
+    if not files:
+        print(f"check_docs: no markdown files found under {root}",
+              file=sys.stderr)
+        return 1
+
+    errors = check_links(root, files)
+    n_snippets = 0
+    if not args.no_snippets:
+        n_snippets = sum(len(extract_snippets(p)) for p in files)
+        errors.extend(run_snippets(root, files, timeout_s=args.timeout))
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(str(p.relative_to(root)) for p in files)
+    print(
+        f"check_docs: {len(files)} file(s) ({checked}); "
+        f"{n_snippets} snippet(s) executed; {len(errors)} problem(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
