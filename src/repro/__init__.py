@@ -21,6 +21,8 @@ electric power for the die it cools. Subpackages:
   process parallelism, CSV/JSON export).
 - :mod:`repro.opt` — design-space optimization over the sweep engine
   (objectives/constraints, Pareto frontiers, adaptive refinement).
+- :mod:`repro.runtime` — trace-driven closed-loop runtime engine (flow
+  control + thermal throttling over workload traces).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -307,12 +307,19 @@ def array_pressure_drop_pa(total_flow_ml_min: float = TOTAL_FLOW_ML_MIN) -> floa
     )
 
 
-def array_pumping_power_w(total_flow_ml_min: float = TOTAL_FLOW_ML_MIN) -> float:
-    """Pumping power of the array [W] (the paper's 4.4 W figure)."""
+def array_pumping_power_w(
+    total_flow_ml_min: float = TOTAL_FLOW_ML_MIN,
+    pump_efficiency: float = PAPER_ANCHORS["pump_efficiency"],
+) -> float:
+    """Pumping power of the array [W] (the paper's 4.4 W figure).
+
+    ``pump_efficiency`` defaults to the paper's 50 % pump; pass a
+    different value in (0, 1] to price a more (or less) realistic pump.
+    """
     return pumping_power(
         array_pressure_drop_pa(total_flow_ml_min),
         m3s_from_ml_per_min(total_flow_ml_min),
-        pump_efficiency=PAPER_ANCHORS["pump_efficiency"],
+        pump_efficiency=pump_efficiency,
     )
 
 

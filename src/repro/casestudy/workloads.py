@@ -10,6 +10,12 @@ full-load corner.
 A scenario multiplies each block kind's full-load density by an activity
 factor; per-block overrides allow asymmetric cases (e.g. half the cores
 power-gated).
+
+Activity factors live in ``[0, MAX_ACTIVITY_FACTOR]`` (= 1.5): the
+``[0, 1]`` stretch covers power-gated through fully active operation,
+and the ``(1, 1.5]`` headroom models *boost* — short turbo excursions
+above the nominal full-load density, the dark-silicon counterpoint the
+paper's bright-silicon argument is measured against.
 """
 
 from __future__ import annotations
@@ -23,6 +29,10 @@ from repro.errors import ConfigurationError
 from repro.geometry.floorplan import BlockKind, Floorplan
 from repro.geometry.power7 import build_power7_floorplan
 
+#: Largest accepted activity factor: 1.0 is nominal full load, values in
+#: (1, 1.5] model boost/turbo excursions above it.
+MAX_ACTIVITY_FACTOR = 1.5
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -33,11 +43,12 @@ class Workload:
     name:
         Scenario label.
     activity:
-        Activity factor per block kind in [0, 1] (missing kinds default
-        to 1.0 — fully active).
+        Activity factor per block kind in ``[0, MAX_ACTIVITY_FACTOR]``:
+        0 is power-gated, 1 nominal full load, above 1 boost (missing
+        kinds default to 1.0 — fully active).
     block_overrides:
-        Optional per-block-name factors that replace the kind factor
-        (power-gating individual cores, boosting one, ...).
+        Optional per-block-name factors (same range) that replace the
+        kind factor (power-gating individual cores, boosting one, ...).
     """
 
     name: str
@@ -46,9 +57,10 @@ class Workload:
 
     def __post_init__(self) -> None:
         for factor in list(self.activity.values()) + list(self.block_overrides.values()):
-            if not 0.0 <= factor <= 1.5:
+            if not 0.0 <= factor <= MAX_ACTIVITY_FACTOR:
                 raise ConfigurationError(
-                    f"activity factors must be in [0, 1.5], got {factor}"
+                    f"activity factors must be in [0, {MAX_ACTIVITY_FACTOR}], "
+                    f"got {factor}"
                 )
 
     def factor_for(self, block_name: str, kind: BlockKind) -> float:

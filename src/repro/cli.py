@@ -11,17 +11,42 @@ Gives the reproduction a zero-code entry point:
   :mod:`repro.sweep` engine (named presets, process parallelism,
   CSV/JSON export);
 - ``optimize`` — design-space optimization through :mod:`repro.opt`
-  (objectives + constraints, Pareto frontiers, adaptive refinement).
+  (objectives + constraints, Pareto frontiers, adaptive refinement);
+- ``runtime`` — closed-loop execution of a workload trace through
+  :mod:`repro.runtime` (flow control + thermal throttling; KPI summary
+  and CSV/JSON time series).
 
-``sweep --list`` and ``optimize --list`` print the available presets.
-Every command is a thin wrapper over the public API, so the CLI doubles as
-usage documentation; ``docs/cli.md`` walks through each one.
+``sweep --list`` and ``optimize --list`` print the available presets;
+``repro --version`` prints the package version. Every command is a thin
+wrapper over the public API, so the CLI doubles as usage documentation;
+``docs/cli.md`` walks through each one.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def package_version() -> str:
+    """Version of the ``repro`` package actually on the import path.
+
+    ``repro.__version__`` is authoritative: it is colocated with the
+    code being executed, whereas ``importlib.metadata.version("repro")``
+    answers for whichever *distribution* of that name is installed — a
+    ``PYTHONPATH=src`` checkout can shadow an installed (and possibly
+    unrelated) ``repro`` distribution, whose metadata would then
+    misreport. Metadata is the fallback for installs that strip the
+    attribute.
+    """
+    import repro
+
+    version = getattr(repro, "__version__", None)
+    if version:
+        return version
+    import importlib.metadata
+
+    return importlib.metadata.version("repro")
 
 
 def _cmd_summary(_: argparse.Namespace) -> int:
@@ -255,6 +280,49 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    from repro.core.report import format_table
+    from repro.runtime import (
+        ElectrolyteState,
+        FixedFlow,
+        PIDFlowController,
+        RuntimeConfig,
+        RuntimeEngine,
+        ThrottleGovernor,
+        standard_trace,
+    )
+
+    trace = standard_trace(args.trace, seed=args.seed)
+    if args.controller == "fixed":
+        controller = FixedFlow(args.flow)
+    else:
+        controller = PIDFlowController(
+            kp=args.kp, ki=args.ki, initial_flow_ml_min=args.flow
+        )
+    engine = RuntimeEngine(
+        controller,
+        governor=ThrottleGovernor(),
+        reservoir=ElectrolyteState(),
+        config=RuntimeConfig(),
+    )
+    result = engine.run(trace)
+
+    print(
+        f"runtime '{trace.name}' — {len(trace.segments)} segment(s), "
+        f"{trace.duration_s:g} s, {args.controller} flow control\n"
+    )
+    kpis = result.kpis()
+    print(format_table(
+        ["KPI", "value"],
+        [[name, value] for name, value in kpis.items()],
+    ))
+    if args.csv:
+        print(f"\ntime series CSV written to {result.save_csv(args.csv)}")
+    if args.json:
+        print(f"\ntime series JSON written to {result.save_json(args.json)}")
+    return 0
+
+
 #: Simple artifact commands (no options of their own).
 _ARTIFACT_COMMANDS = {
     "summary": (_cmd_summary, "joint case-study evaluation vs the paper"),
@@ -271,6 +339,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Integrated Microfluidic Power "
         "Generation and Cooling for Bright Silicon MPSoCs' (DATE 2014).",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
     )
     commands = parser.add_subparsers(
         dest="command", required=True, metavar="command"
@@ -357,6 +429,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the Pareto frontier as JSON",
     )
     optimize.set_defaults(handler=_cmd_optimize)
+
+    runtime = commands.add_parser(
+        "runtime",
+        help="closed-loop workload-trace execution (see docs/runtime.md)",
+        description="Run a named workload trace through the closed-loop "
+        "runtime engine: a flow controller and a thermal throttle "
+        "governor modulate the coolant stream while the trace plays.",
+    )
+    # Trace and controller names are validated by the runtime layer at
+    # run time (caught in main), for the same startup-cost reason the
+    # sweep presets are.
+    runtime.add_argument(
+        "--trace", default="bursty", metavar="NAME",
+        help="workload trace: step, ramp, square, bursty or diurnal "
+        "(default: bursty)",
+    )
+    runtime.add_argument(
+        "--controller", default="pid", choices=("fixed", "pid"),
+        help="flow policy: closed-loop PID on peak temperature, or "
+        "fixed open-loop flow (default: pid)",
+    )
+    runtime.add_argument(
+        "--flow", type=float, default=676.0, metavar="ML_MIN",
+        help="fixed flow, or the PID's starting flow (default: the "
+        "paper's nominal 676 ml/min)",
+    )
+    runtime.add_argument(
+        "--seed", type=int, default=7, metavar="N",
+        help="burst-pattern seed of the bursty trace (default: 7)",
+    )
+    runtime.add_argument(
+        "--kp", type=float, default=40.0, metavar="G",
+        help="PID proportional gain [ml/min per K] (default: 40)",
+    )
+    runtime.add_argument(
+        "--ki", type=float, default=60.0, metavar="G",
+        help="PID integral gain [ml/min per K.s] (default: 60)",
+    )
+    runtime.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="export the per-step time series as CSV",
+    )
+    runtime.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="export the per-step time series as JSON",
+    )
+    runtime.set_defaults(handler=_cmd_runtime)
     return parser
 
 

@@ -51,6 +51,37 @@ class EnergyBalance:
             return float("inf")
         return self.generated_w / self.pumping_w
 
+    @classmethod
+    def from_hydraulics(
+        cls,
+        generated_w: float,
+        pressure_drop_pa: float,
+        volumetric_flow_m3_s: float,
+        pump_efficiency: "float | None" = None,
+    ) -> "EnergyBalance":
+        """Balance with the pumping side priced from hydraulic state.
+
+        ``pump_efficiency`` defaults to the paper's 50 % pump
+        (:data:`repro.microfluidics.hydraulics.DEFAULT_PUMP_EFFICIENCY`);
+        pass a value in (0, 1] to model a realistic pump instead of
+        hand-computing the pumping power.
+        """
+        from repro.microfluidics.hydraulics import (
+            DEFAULT_PUMP_EFFICIENCY,
+            pumping_power,
+        )
+
+        if pump_efficiency is None:
+            pump_efficiency = DEFAULT_PUMP_EFFICIENCY
+        return cls(
+            generated_w=generated_w,
+            pumping_w=pumping_power(
+                pressure_drop_pa,
+                volumetric_flow_m3_s,
+                pump_efficiency=pump_efficiency,
+            ),
+        )
+
 
 def bright_silicon_utilization(
     peak_temperature_at: Callable[[float], float],

@@ -17,6 +17,12 @@ answers the headline question of the paper with no further configuration:
   realizable regulator technologies (switched-capacitor, buck) and the
   array tap voltage. The ideal VRM is excluded: it has zero area and
   would trivially dominate the frontier.
+- ``runtime-pid``    — controller-gain tuning for the closed-loop
+  runtime engine: maximize net energy over the bursty trace across the
+  PID's proportional/integral gains, subject to the 85 C junction limit
+  over the whole trajectory. Every candidate runs the full trace
+  through the ``runtime`` evaluator, so tuned gains land in the same
+  cache the runtime sweeps use.
 """
 
 from __future__ import annotations
@@ -143,6 +149,36 @@ PRESETS: "dict[str, OptimizationPreset]" = {
                 ),
             ),
             max_rounds=3,
+        ),
+        OptimizationPreset(
+            name="runtime-pid",
+            description="PID flow-controller gains maximizing net energy "
+            "over the bursty trace under the 85 C limit",
+            problem=OptimizationProblem(
+                base=ScenarioSpec(
+                    evaluator="runtime",
+                    trace="bursty",
+                    controller="pid",
+                    nx=22,
+                    ny=11,
+                ),
+                axes=(
+                    ContinuousAxis(
+                        "pid_kp", 5.0, 160.0, points=3, scale="log"
+                    ),
+                    ContinuousAxis(
+                        "pid_ki", 10.0, 320.0, points=3, scale="log"
+                    ),
+                ),
+                objectives=(Objective("net_energy_j", "max"),),
+                constraints=(
+                    Constraint(
+                        "peak_temperature_c", TEMPERATURE_LIMIT_C, "<="
+                    ),
+                ),
+            ),
+            max_rounds=2,
+            tolerance=0.1,
         ),
     )
 }

@@ -1,0 +1,72 @@
+"""Trace-driven closed-loop runtime engine.
+
+The static layers of the library answer "where does the system settle"
+(:mod:`repro.cosim`) and "which design point is best" (:mod:`repro.opt`);
+this package answers the paper's *runtime* claim — one coolant stream
+modulated online so it keeps meeting the chip's cooling and
+power-delivery demands as workload varies:
+
+- :mod:`repro.runtime.trace` — piecewise workload schedules and the
+  synthetic generators (step, ramp, square, bursty, diurnal);
+- :mod:`repro.runtime.controllers` — flow controllers (fixed, PID on
+  peak junction temperature) and a hysteresis throttle governor;
+- :mod:`repro.runtime.state` — electrolyte reservoir state-of-charge
+  along a trace (the flow-battery storage side);
+- :mod:`repro.runtime.engine` — the stepper tying them together into a
+  :class:`RuntimeResult` time series with energy/thermal KPIs.
+
+The ``runtime`` sweep evaluator, the ``runtime-pid`` optimization preset
+and the ``repro runtime`` CLI command are thin wrappers over this
+package; bench A16 asserts its headline result (closed-loop flow control
+beats the paper's fixed nominal flow on net energy without violating the
+85 degC junction limit).
+"""
+
+from repro.runtime.controllers import (
+    FixedFlow,
+    FlowController,
+    Observation,
+    PIDFlowController,
+    ThrottleGovernor,
+)
+from repro.runtime.engine import (
+    RuntimeConfig,
+    RuntimeEngine,
+    RuntimeResult,
+    RuntimeSample,
+)
+from repro.runtime.state import ElectrolyteState, build_case_study_loop
+from repro.runtime.trace import (
+    TRACE_NAMES,
+    TraceSegment,
+    WorkloadTrace,
+    bursty_trace,
+    diurnal_trace,
+    ramp_trace,
+    square_trace,
+    standard_trace,
+    step_trace,
+)
+
+__all__ = [
+    "TRACE_NAMES",
+    "ElectrolyteState",
+    "FixedFlow",
+    "FlowController",
+    "Observation",
+    "PIDFlowController",
+    "RuntimeConfig",
+    "RuntimeEngine",
+    "RuntimeResult",
+    "RuntimeSample",
+    "ThrottleGovernor",
+    "TraceSegment",
+    "WorkloadTrace",
+    "build_case_study_loop",
+    "bursty_trace",
+    "diurnal_trace",
+    "ramp_trace",
+    "square_trace",
+    "standard_trace",
+    "step_trace",
+]

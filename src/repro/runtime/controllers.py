@@ -1,0 +1,227 @@
+"""Closed-loop flow control and DVFS-style thermal throttling.
+
+The paper modulates one coolant stream at runtime so it meets the chip's
+cooling *and* power-delivery demands as workload varies. This module holds
+the decision-making side of that loop:
+
+- :class:`FixedFlow` — the open-loop baseline: a constant flow command
+  (the paper's nominal 676 ml/min operating point as a controller).
+- :class:`PIDFlowController` — tracks a peak-junction-temperature setpoint
+  below the 85 degC limit by modulating total flow. Because pumping power
+  grows ~quadratically with flow while generation is nearly flat, holding
+  the chip *just* cool enough is also the net-energy-optimal policy
+  (bench A15); the PID turns that static observation into a runtime one.
+- :class:`ThrottleGovernor` — the safety net a DVFS governor provides:
+  when the thermal (or net-power) constraint is violated, activity is
+  scaled down with hysteresis until the system recovers.
+
+Controllers are deliberately stateful-but-small: ``reset()`` restores the
+initial state so one instance can run many traces, and every command is
+computed from the previous step's :class:`Observation` — the engine never
+lets a controller peek at the future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import DEFAULT_TEMPERATURE_LIMIT_C
+from repro.errors import ConfigurationError
+
+#: Junction-temperature limit the governor defends [degC] — the shared
+#: server-silicon limit of :mod:`repro.core.metrics` (the same number
+#: the sweep evaluators' feasibility verdicts use).
+TEMPERATURE_LIMIT_C = DEFAULT_TEMPERATURE_LIMIT_C
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a controller is allowed to see: the previous step's outcome."""
+
+    time_s: float
+    peak_temperature_c: float
+    flow_ml_min: float
+    utilization: float
+    activity_scale: float
+    generated_w: float
+    pumping_w: float
+    net_w: float
+
+
+class FlowController:
+    """Interface: map the previous observation to the next flow command."""
+
+    #: Flow commanded before the first observation exists [ml/min].
+    initial_flow_ml_min: float
+
+    def reset(self) -> None:
+        """Restore the initial state (no-op for stateless controllers)."""
+
+    def flow_command(self, observation: Observation, dt_s: float) -> float:
+        """Total-flow command [ml/min] for the next step."""
+        raise NotImplementedError
+
+
+class FixedFlow(FlowController):
+    """Open-loop constant flow — the paper's static operating point."""
+
+    def __init__(self, flow_ml_min: float) -> None:
+        if flow_ml_min <= 0.0:
+            raise ConfigurationError(
+                f"flow must be > 0 ml/min, got {flow_ml_min}"
+            )
+        self.initial_flow_ml_min = float(flow_ml_min)
+
+    def flow_command(self, observation: Observation, dt_s: float) -> float:
+        return self.initial_flow_ml_min
+
+
+class PIDFlowController(FlowController):
+    """PID on peak junction temperature, actuating total flow.
+
+    The error is ``peak - target``: a hot chip raises the command, a cold
+    one lowers it toward ``min_flow_ml_min``, shedding pumping power. The
+    integral term uses conditional anti-windup — it freezes whenever the
+    command is clamped and integrating would push it further into the
+    clamp — so recovery after a burst is not delayed by a wound-up term.
+
+    Parameters
+    ----------
+    target_peak_c:
+        Temperature setpoint [degC]; keep a few kelvin below the 85 degC
+        limit so transients peak inside it.
+    kp / ki / kd:
+        Gains in ml/min per K, ml/min per K.s, and ml/min per K/s.
+    min_flow_ml_min / max_flow_ml_min:
+        Actuator limits; commands clamp to this range.
+    initial_flow_ml_min:
+        Command before the first observation (defaults to the midpoint of
+        the actuator range).
+    """
+
+    def __init__(
+        self,
+        target_peak_c: float = 78.0,
+        kp: float = 40.0,
+        ki: float = 60.0,
+        kd: float = 0.0,
+        min_flow_ml_min: float = 60.0,
+        max_flow_ml_min: float = 1352.0,
+        initial_flow_ml_min: "float | None" = None,
+    ) -> None:
+        if min_flow_ml_min <= 0.0 or max_flow_ml_min <= min_flow_ml_min:
+            raise ConfigurationError(
+                "need 0 < min_flow_ml_min < max_flow_ml_min"
+            )
+        if kp < 0.0 or ki < 0.0 or kd < 0.0:
+            raise ConfigurationError("gains must be >= 0")
+        if initial_flow_ml_min is None:
+            initial_flow_ml_min = 0.5 * (min_flow_ml_min + max_flow_ml_min)
+        if not min_flow_ml_min <= initial_flow_ml_min <= max_flow_ml_min:
+            raise ConfigurationError(
+                f"initial flow {initial_flow_ml_min:g} outside the actuator "
+                f"range [{min_flow_ml_min:g}, {max_flow_ml_min:g}] ml/min"
+            )
+        self.target_peak_c = float(target_peak_c)
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self.min_flow_ml_min = float(min_flow_ml_min)
+        self.max_flow_ml_min = float(max_flow_ml_min)
+        self.initial_flow_ml_min = float(initial_flow_ml_min)
+        self.reset()
+
+    def reset(self) -> None:
+        self._integral_k_s = 0.0
+        self._previous_error_k: "float | None" = None
+
+    def flow_command(self, observation: Observation, dt_s: float) -> float:
+        if dt_s <= 0.0:
+            raise ConfigurationError(f"dt must be > 0, got {dt_s}")
+        error = observation.peak_temperature_c - self.target_peak_c
+        derivative = 0.0
+        if self._previous_error_k is not None and self.kd > 0.0:
+            derivative = (error - self._previous_error_k) / dt_s
+        self._previous_error_k = error
+
+        candidate_integral = self._integral_k_s + error * dt_s
+        raw = (
+            self.initial_flow_ml_min
+            + self.kp * error
+            + self.ki * candidate_integral
+            + self.kd * derivative
+        )
+        clamped = min(self.max_flow_ml_min, max(self.min_flow_ml_min, raw))
+        # Conditional anti-windup: accept the integral update only when the
+        # command is unclamped, or when the update pulls back inside.
+        if raw == clamped or (raw > clamped) != (error > 0.0):
+            self._integral_k_s = candidate_integral
+        return clamped
+
+
+class ThrottleGovernor:
+    """Hysteresis DVFS-style activity throttle.
+
+    Watches the previous observation and scales commanded activity by
+    ``throttle_scale`` whenever the thermal limit (or, optionally, a
+    minimum net-power floor) is violated; the throttle releases only when
+    the peak falls below ``release_peak_c``, so the governor never
+    chatters around the trip point.
+
+    Parameters
+    ----------
+    trip_peak_c / release_peak_c:
+        Throttle engages at or above ``trip_peak_c`` and disengages below
+        ``release_peak_c`` (must be strictly lower).
+    throttle_scale:
+        Activity multiplier while throttled, in (0, 1).
+    min_net_w:
+        Optional net-power floor [W]; when set, a step whose net power
+        falls below it also trips the throttle (the "power delivery
+        demand" side of the paper's constraint pair).
+    """
+
+    def __init__(
+        self,
+        trip_peak_c: float = TEMPERATURE_LIMIT_C,
+        release_peak_c: float = 80.0,
+        throttle_scale: float = 0.7,
+        min_net_w: "float | None" = None,
+    ) -> None:
+        if release_peak_c >= trip_peak_c:
+            raise ConfigurationError(
+                f"release temperature ({release_peak_c:g} C) must be below "
+                f"the trip temperature ({trip_peak_c:g} C)"
+            )
+        if not 0.0 < throttle_scale < 1.0:
+            raise ConfigurationError(
+                f"throttle scale must be in (0, 1), got {throttle_scale}"
+            )
+        self.trip_peak_c = float(trip_peak_c)
+        self.release_peak_c = float(release_peak_c)
+        self.throttle_scale = float(throttle_scale)
+        self.min_net_w = None if min_net_w is None else float(min_net_w)
+        self.reset()
+
+    def reset(self) -> None:
+        self._throttled = False
+
+    @property
+    def throttled(self) -> bool:
+        """Whether the governor is currently limiting activity."""
+        return self._throttled
+
+    def scale_command(self, observation: Observation) -> float:
+        """Activity multiplier for the next step, updating the hysteresis."""
+        tripped = observation.peak_temperature_c >= self.trip_peak_c or (
+            self.min_net_w is not None and observation.net_w < self.min_net_w
+        )
+        if tripped:
+            self._throttled = True
+        elif (
+            self._throttled
+            and observation.peak_temperature_c < self.release_peak_c
+            and (self.min_net_w is None or observation.net_w >= self.min_net_w)
+        ):
+            self._throttled = False
+        return self.throttle_scale if self._throttled else 1.0

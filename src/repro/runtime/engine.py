@@ -1,0 +1,453 @@
+"""Trace-driven closed-loop runtime engine.
+
+This is the dynamic counterpart of :class:`~repro.cosim.coupling.
+ElectroThermalCosim` (one operating point, run to a fixed point) and
+:class:`~repro.cosim.transient.TransientCosim` (one open-loop step): a
+:class:`RuntimeEngine` executes a whole :class:`~repro.runtime.trace.
+WorkloadTrace` while a flow controller and a throttle governor close the
+loop around the thermal state — the paper's "one coolant stream modulated
+at runtime" claim as an executable scenario.
+
+Per control step the engine
+
+1. reads the trace (workload + utilization for the step interval),
+2. asks the governor for an activity scale and the controller for a flow
+   command (both see only the *previous* step's observation),
+3. advances the thermal state by one backward-Euler step on the cached
+   :class:`~repro.thermal.model.ThermalModel` for the commanded flow,
+4. looks up group currents on the shared
+   :class:`~repro.cosim.surface.PolarizationSurface` at the new channel
+   temperatures, prices the pumping power, and
+5. draws the generated charge from the electrolyte reservoirs.
+
+Flow commands are quantized to ``flow_resolution_ml_min`` so the caches
+stay bounded: each distinct quantized flow costs one thermal model (its
+sparse assembly + LU factorizations are then reused for every later step
+at that flow) and one polarization surface (shared process-wide). A PID
+sweeping smoothly through flows therefore pays for a handful of models,
+not one per step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.casestudy.tables import PAPER_ANCHORS, TABLE2
+from repro.cosim.coupling import CosimConfig, group_coolant_temperatures
+from repro.cosim.surface import surface_for
+from repro.core.metrics import DEFAULT_TEMPERATURE_LIMIT_C
+from repro.errors import ConfigurationError
+from repro.runtime.controllers import (
+    FlowController,
+    Observation,
+    ThrottleGovernor,
+)
+from repro.runtime.state import ElectrolyteState
+from repro.runtime.trace import WorkloadTrace
+
+#: Junction-temperature limit used for violation accounting [degC] — the
+#: shared server-silicon limit of :mod:`repro.core.metrics`.
+TEMPERATURE_LIMIT_C = DEFAULT_TEMPERATURE_LIMIT_C
+
+
+@dataclass
+class RuntimeConfig:
+    """Configuration of one closed-loop runtime run.
+
+    Parameters
+    ----------
+    control_dt_s:
+        Control/integration step; the thermal state advances one
+        backward-Euler step and the controllers act once per interval.
+    inlet_temperature_k / operating_voltage_v:
+        Coolant inlet and the terminal voltage held by the VRMs.
+    nx / ny / n_channel_groups / n_curve_points:
+        Raster and electrochemical sampling, as in
+        :class:`~repro.cosim.coupling.CosimConfig`.
+    flow_resolution_ml_min:
+        Flow commands quantize to this grid (see module docstring).
+    pump_efficiency:
+        Pump efficiency in (0, 1] used to price the hydraulic power
+        (the paper assumes 0.5).
+    temperature_limit_c:
+        Junction limit for the violation KPI.
+    """
+
+    control_dt_s: float = 0.05
+    inlet_temperature_k: float = TABLE2["inlet_temperature_k"]
+    operating_voltage_v: float = 1.0
+    nx: int = 44
+    ny: int = 22
+    n_channel_groups: int = 11
+    n_curve_points: int = 40
+    flow_resolution_ml_min: float = 16.0
+    pump_efficiency: float = PAPER_ANCHORS["pump_efficiency"]
+    temperature_limit_c: float = TEMPERATURE_LIMIT_C
+
+    def __post_init__(self) -> None:
+        if self.control_dt_s <= 0.0:
+            raise ConfigurationError("control dt must be > 0")
+        if self.flow_resolution_ml_min <= 0.0:
+            raise ConfigurationError("flow resolution must be > 0 ml/min")
+        if not 0.0 < self.pump_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"pump efficiency must be in (0, 1], got {self.pump_efficiency}"
+            )
+        if self.nx % self.n_channel_groups:
+            raise ConfigurationError(
+                f"nx={self.nx} must be a multiple of n_channel_groups="
+                f"{self.n_channel_groups}"
+            )
+
+
+@dataclass(frozen=True)
+class RuntimeSample:
+    """One control step's outcome on the closed-loop trajectory."""
+
+    time_s: float
+    step_dt_s: float
+    workload: str
+    utilization: float
+    activity_scale: float
+    flow_ml_min: float
+    peak_temperature_c: float
+    mean_coolant_c: float
+    array_current_a: float
+    generated_w: float
+    pumping_w: float
+    net_w: float
+    state_of_charge: float
+    throttled: bool
+    violation: bool
+
+    def record(self) -> "dict[str, object]":
+        """Flat export row (CSV/JSON via :mod:`repro.io`)."""
+        return {
+            "time_s": self.time_s,
+            "workload": self.workload,
+            "utilization": self.utilization,
+            "activity_scale": self.activity_scale,
+            "flow_ml_min": self.flow_ml_min,
+            "peak_temperature_c": self.peak_temperature_c,
+            "mean_coolant_c": self.mean_coolant_c,
+            "array_current_a": self.array_current_a,
+            "generated_w": self.generated_w,
+            "pumping_w": self.pumping_w,
+            "net_w": self.net_w,
+            "state_of_charge": self.state_of_charge,
+            "throttled": float(self.throttled),
+            "violation": float(self.violation),
+        }
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """Closed-loop trajectory plus its scalar KPIs.
+
+    Energies integrate each sample's power over its own step length, so
+    KPIs are exact for the piecewise-constant trajectory the engine
+    actually computed — no resampling error.
+    """
+
+    trace_name: str
+    samples: "tuple[RuntimeSample, ...]" = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ConfigurationError("a runtime result needs samples")
+        object.__setattr__(self, "samples", tuple(self.samples))
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated span [s]."""
+        return sum(s.step_dt_s for s in self.samples)
+
+    def _integrate(self, power_of) -> float:
+        return sum(power_of(s) * s.step_dt_s for s in self.samples)
+
+    @property
+    def harvested_energy_j(self) -> float:
+        """Electrical energy generated by the array [J]."""
+        return self._integrate(lambda s: s.generated_w)
+
+    @property
+    def pumping_energy_j(self) -> float:
+        """Hydraulic energy spent moving the coolant [J]."""
+        return self._integrate(lambda s: s.pumping_w)
+
+    @property
+    def net_energy_j(self) -> float:
+        """Harvested minus pumping energy [J] — the headline KPI."""
+        return self._integrate(lambda s: s.net_w)
+
+    @property
+    def peak_temperature_c(self) -> float:
+        """Hottest junction temperature seen anywhere on the trace."""
+        return max(s.peak_temperature_c for s in self.samples)
+
+    @property
+    def throttled_time_fraction(self) -> float:
+        """Fraction of simulated time spent under governor throttling."""
+        throttled = sum(s.step_dt_s for s in self.samples if s.throttled)
+        return throttled / self.duration_s
+
+    @property
+    def violation_time_fraction(self) -> float:
+        """Fraction of simulated time above the junction limit."""
+        violating = sum(s.step_dt_s for s in self.samples if s.violation)
+        return violating / self.duration_s
+
+    @property
+    def n_violations(self) -> int:
+        """Number of samples above the junction limit."""
+        return sum(1 for s in self.samples if s.violation)
+
+    @property
+    def mean_flow_ml_min(self) -> float:
+        """Time-weighted mean commanded flow [ml/min]."""
+        return self._integrate(lambda s: s.flow_ml_min) / self.duration_s
+
+    @property
+    def final_state_of_charge(self) -> float:
+        """Reservoir SOC at the end of the trace (nan without a reservoir)."""
+        return self.samples[-1].state_of_charge
+
+    def kpis(self) -> "dict[str, float]":
+        """All scalar KPIs as one flat dict (the sweep evaluator's output)."""
+        return {
+            "harvested_energy_j": self.harvested_energy_j,
+            "pumping_energy_j": self.pumping_energy_j,
+            "net_energy_j": self.net_energy_j,
+            "mean_net_w": self.net_energy_j / self.duration_s,
+            "peak_temperature_c": self.peak_temperature_c,
+            "throttled_time_fraction": self.throttled_time_fraction,
+            "violation_time_fraction": self.violation_time_fraction,
+            "n_violations": float(self.n_violations),
+            "mean_flow_ml_min": self.mean_flow_ml_min,
+            "final_state_of_charge": self.final_state_of_charge,
+            "n_samples": float(len(self.samples)),
+        }
+
+    def records(self) -> "list[dict[str, object]]":
+        """Flat per-sample export rows (CSV/JSON via :mod:`repro.io`)."""
+        return [s.record() for s in self.samples]
+
+    def save_csv(self, path) -> "object":
+        """Write the trajectory as CSV; returns the path written."""
+        from repro.io import save_csv
+
+        return save_csv(self.records(), path)
+
+    def save_json(self, path) -> "object":
+        """Write the trajectory as JSON; returns the path written."""
+        from repro.io import save_json
+
+        return save_json(self.records(), path)
+
+
+class RuntimeEngine:
+    """Steps a workload trace under closed-loop flow and activity control.
+
+    Parameters
+    ----------
+    controller:
+        Flow controller (see :mod:`repro.runtime.controllers`).
+    governor:
+        Optional :class:`~repro.runtime.controllers.ThrottleGovernor`;
+        ``None`` runs without thermal throttling.
+    reservoir:
+        Optional :class:`~repro.runtime.state.ElectrolyteState`; when
+        present, generated charge is drawn from it and generation stops
+        on depletion.
+    config:
+        Engine configuration (raster, timing, quantization, pricing).
+
+    The engine is reusable: :meth:`run` resets the controllers and starts
+    from the trace's initial steady state, while the per-flow thermal
+    models (and the process-wide polarization surfaces) persist across
+    runs, so a sweep of traces at similar flows is much cheaper than the
+    first run suggests. The reservoir state is deliberately *not* reset:
+    back-to-back runs model continuous operation drawing down the same
+    tanks (attach a fresh :class:`~repro.runtime.state.ElectrolyteState`
+    for independent trials).
+    """
+
+    def __init__(
+        self,
+        controller: FlowController,
+        governor: "ThrottleGovernor | None" = None,
+        reservoir: "ElectrolyteState | None" = None,
+        config: "RuntimeConfig | None" = None,
+    ) -> None:
+        self.controller = controller
+        self.governor = governor
+        self.reservoir = reservoir
+        self.config = config if config is not None else RuntimeConfig()
+        self._models: "dict[float, object]" = {}
+        self._power_maps: "dict[str, np.ndarray]" = {}
+        self._pumping: "dict[float, float]" = {}
+
+    # -- cached building blocks ---------------------------------------------------
+
+    def _quantize_flow(self, flow_ml_min: float) -> float:
+        """Snap a flow command to the resolution grid (never to zero).
+
+        The grid is anchored at the controller's initial flow, so the
+        initial (and any fixed) command is represented *exactly* — a
+        ``FixedFlow(676)`` baseline really runs at the paper's nominal
+        676 ml/min — while continuously varying commands still collapse
+        onto a bounded set of flows.
+        """
+        resolution = self.config.flow_resolution_ml_min
+        anchor = self.controller.initial_flow_ml_min
+        quantized = anchor + round((flow_ml_min - anchor) / resolution) * resolution
+        return max(resolution, quantized)
+
+    def _cosim_config(self, flow_ml_min: float) -> CosimConfig:
+        return CosimConfig(
+            total_flow_ml_min=flow_ml_min,
+            inlet_temperature_k=self.config.inlet_temperature_k,
+            operating_voltage_v=self.config.operating_voltage_v,
+            n_channel_groups=self.config.n_channel_groups,
+            nx=self.config.nx,
+            ny=self.config.ny,
+            n_curve_points=self.config.n_curve_points,
+        )
+
+    def _model(self, flow_ml_min: float):
+        """The thermal model for one quantized flow (built once, kept)."""
+        model = self._models.get(flow_ml_min)
+        if model is None:
+            from repro.casestudy.power7plus import build_thermal_model
+
+            model = build_thermal_model(
+                nx=self.config.nx,
+                ny=self.config.ny,
+                total_flow_ml_min=flow_ml_min,
+                inlet_temperature_k=self.config.inlet_temperature_k,
+            )
+            self._models[flow_ml_min] = model
+        return model
+
+    def _workload_map(self, workload_name: str) -> np.ndarray:
+        """Unit-utilization power map of a named workload (cached)."""
+        base = self._power_maps.get(workload_name)
+        if base is None:
+            from repro.casestudy.workloads import standard_workloads
+
+            workload = {w.name: w for w in standard_workloads()}[workload_name]
+            base = workload.power_map(self.config.nx, self.config.ny)
+            self._power_maps[workload_name] = base
+        return base
+
+    def _pumping_w(self, flow_ml_min: float) -> float:
+        """Pumping power of one quantized flow (cached; single source is
+        the case study's own pricing helper)."""
+        pumping = self._pumping.get(flow_ml_min)
+        if pumping is None:
+            from repro.casestudy.power7plus import array_pumping_power_w
+
+            pumping = array_pumping_power_w(
+                flow_ml_min, pump_efficiency=self.config.pump_efficiency
+            )
+            self._pumping[flow_ml_min] = pumping
+        return pumping
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self, trace: WorkloadTrace) -> RuntimeResult:
+        """Execute one trace end to end; returns the closed-loop result."""
+        config = self.config
+        voltage = config.operating_voltage_v
+        self.controller.reset()
+        if self.governor is not None:
+            self.governor.reset()
+
+        # Initial condition: the steady state of the trace's first
+        # operating point at the controller's initial flow — the system
+        # has been sitting there before t = 0.
+        first = trace.segments[0]
+        flow = self._quantize_flow(self.controller.initial_flow_ml_min)
+        model = self._model(flow)
+        scale = 1.0
+        model.set_power_map(
+            "active_si",
+            self._workload_map(first.workload) * (first.utilization * scale),
+        )
+        state = model.solve_steady()
+
+        samples: "list[RuntimeSample]" = []
+        observation: "Observation | None" = None
+        throttled = False
+        for t_start, step_dt, segment in trace.iter_steps(config.control_dt_s):
+            if observation is not None:
+                if self.governor is not None:
+                    scale = self.governor.scale_command(observation)
+                    throttled = self.governor.throttled
+                flow = self._quantize_flow(
+                    self.controller.flow_command(observation, step_dt)
+                )
+                model = self._model(flow)
+
+            model.set_power_map(
+                "active_si",
+                self._workload_map(segment.workload)
+                * (segment.utilization * scale),
+            )
+            state = model.solve_transient(
+                duration_s=step_dt, dt_s=step_dt, initial=state
+            )
+
+            cosim_config = self._cosim_config(flow)
+            group_temps = group_coolant_temperatures(state, cosim_config)
+            surface = surface_for(cosim_config)
+            current = float(surface.currents_at(group_temps, voltage).sum())
+
+            soc = float("nan")
+            if self.reservoir is not None:
+                current = self.reservoir.step(current, step_dt)
+                soc = self.reservoir.state_of_charge
+
+            generated = current * voltage
+            pumping = self._pumping_w(flow)
+            net = generated - pumping
+            fluid = state.field("channels", "fluid")
+            peak_c = state.peak_celsius
+            time_s = t_start + step_dt
+
+            samples.append(RuntimeSample(
+                time_s=time_s,
+                step_dt_s=step_dt,
+                workload=segment.workload,
+                utilization=segment.utilization,
+                activity_scale=scale,
+                flow_ml_min=flow,
+                peak_temperature_c=peak_c,
+                mean_coolant_c=float(fluid.mean()) - 273.15,
+                array_current_a=current,
+                generated_w=generated,
+                pumping_w=pumping,
+                net_w=net,
+                state_of_charge=soc,
+                throttled=throttled,
+                violation=peak_c > config.temperature_limit_c,
+            ))
+            observation = Observation(
+                time_s=time_s,
+                peak_temperature_c=peak_c,
+                flow_ml_min=flow,
+                utilization=segment.utilization,
+                activity_scale=scale,
+                generated_w=generated,
+                pumping_w=pumping,
+                net_w=net,
+            )
+
+        if not math.isfinite(samples[-1].peak_temperature_c):
+            raise ConfigurationError(
+                "runtime trajectory diverged (non-finite peak temperature)"
+            )
+        return RuntimeResult(trace_name=trace.name, samples=tuple(samples))

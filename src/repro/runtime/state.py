@@ -1,0 +1,124 @@
+"""Electrolyte recirculation state for the runtime engine.
+
+The flow cells are a *flow battery*: the coolant stream carries the
+reactants, and the deliverable energy is set by the reservoir volume and
+the usable state-of-charge window
+(:mod:`repro.flowcell.recirculation`). The runtime engine tracks that
+storage side alongside the thermal state so long traces can run into
+reactant depletion — the point where generation collapses even though the
+cells themselves are fine.
+
+:class:`ElectrolyteState` wraps a
+:class:`~repro.flowcell.recirculation.RecirculationLoop` with the
+clamped-draw semantics a time stepper needs: a step that would pull the
+system below the usable SOC floor delivers only the remaining charge and
+marks the state depleted (generation stops), instead of raising mid-run.
+"""
+
+from __future__ import annotations
+
+from repro.constants import FARADAY
+from repro.errors import ConfigurationError
+from repro.flowcell.recirculation import ElectrolyteReservoir, RecirculationLoop
+
+
+def build_case_study_loop(volume_m3: float = 5e-4) -> RecirculationLoop:
+    """The Table II electrolyte pair as a recirculation loop.
+
+    ``volume_m3`` is the per-tank volume; the 0.5 L default sustains the
+    array's ~6 A for on the order of an hour, so short control traces
+    barely dent the SOC while endurance studies can shrink it to watch
+    depletion happen.
+    """
+    from repro.casestudy.power7plus import build_array_spec
+
+    spec = build_array_spec()
+    return RecirculationLoop(
+        anolyte_tank=ElectrolyteReservoir(spec.anolyte, volume_m3, is_fuel=True),
+        catholyte_tank=ElectrolyteReservoir(
+            spec.catholyte, volume_m3, is_fuel=False
+        ),
+    )
+
+
+class ElectrolyteState:
+    """Reservoir state-of-charge tracked along a runtime trace.
+
+    Parameters
+    ----------
+    loop:
+        The recirculation loop to track (defaults to the case-study loop
+        from :func:`build_case_study_loop`).
+    min_soc:
+        Usable SOC floor in [0, 1): below it the electrolyte is treated
+        as spent (concentration overpotentials would collapse the cell
+        voltage well before the tanks are stoichiometrically empty).
+    """
+
+    def __init__(
+        self,
+        loop: "RecirculationLoop | None" = None,
+        min_soc: float = 0.05,
+    ) -> None:
+        if not 0.0 <= min_soc < 1.0:
+            raise ConfigurationError(
+                f"min_soc must be in [0, 1), got {min_soc}"
+            )
+        self.loop = loop if loop is not None else build_case_study_loop()
+        self.min_soc = float(min_soc)
+        self.initial_soc = self.loop.state_of_charge
+        self._depleted = self.initial_soc <= self.min_soc
+
+    @property
+    def state_of_charge(self) -> float:
+        """System SOC (the weaker tank governs)."""
+        return self.loop.state_of_charge
+
+    @property
+    def depleted(self) -> bool:
+        """Whether the usable SOC window has been exhausted."""
+        return self._depleted
+
+    @property
+    def fuel_utilization(self) -> float:
+        """Fraction of the initially available charge drawn so far."""
+        window = self.initial_soc - self.min_soc
+        if window <= 0.0:
+            return 1.0
+        used = self.initial_soc - self.state_of_charge
+        return min(1.0, max(0.0, used / window))
+
+    def usable_charge_c(self) -> float:
+        """Charge deliverable before the SOC floor is reached [C]."""
+        usable = float("inf")
+        for tank in (self.loop.anolyte_tank, self.loop.catholyte_tank):
+            total = tank.conc_ox + tank.conc_red
+            margin = max(0.0, tank.state_of_charge - self.min_soc)
+            n_f_v = tank.electrolyte.couple.electrons * FARADAY * tank.volume_m3
+            usable = min(usable, margin * total * n_f_v)
+        return usable
+
+    def step(self, current_a: float, dt_s: float) -> float:
+        """Advance by one step at a discharge current; returns the
+        current actually sustained [A].
+
+        A step that would cross the SOC floor delivers only the usable
+        remainder and marks the state depleted; once depleted, the
+        sustained current is zero.
+        """
+        if dt_s <= 0.0:
+            raise ConfigurationError(f"dt must be > 0, got {dt_s}")
+        if current_a < 0.0:
+            raise ConfigurationError(
+                f"discharge current must be >= 0, got {current_a}"
+            )
+        if self._depleted or current_a == 0.0:
+            return 0.0
+        requested_c = current_a * dt_s
+        usable_c = self.usable_charge_c()
+        drawn_c = min(requested_c, usable_c)
+        if drawn_c > 0.0:
+            self.loop.step(drawn_c / dt_s, dt_s)
+        if requested_c >= usable_c:
+            self._depleted = True
+        return drawn_c / dt_s

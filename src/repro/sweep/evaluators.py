@@ -15,6 +15,9 @@ the hand-rolled loops they replaced:
 - ``transient`` — utilization-step response through the transient co-sim
   (bench A14); settling time and current swing of the step.
 - ``workload`` — named workload scenario thermal state (bench A8).
+- ``runtime`` — closed-loop execution of a named workload trace through
+  :class:`~repro.runtime.engine.RuntimeEngine` (bench A16); energy,
+  thermal and throttling KPIs of the whole trajectory.
 
 The ``cosim`` and ``transient`` evaluators share the process-wide
 :class:`~repro.cosim.surface.PolarizationSurface` store, so sweeps that
@@ -32,6 +35,7 @@ from functools import lru_cache
 from typing import Callable, Dict
 
 from repro.casestudy.tables import PAPER_ANCHORS, TABLE2
+from repro.core.metrics import DEFAULT_TEMPERATURE_LIMIT_C
 from repro.errors import ConfigurationError
 from repro.sweep.spec import VRM_NAMES, ScenarioSpec
 
@@ -39,8 +43,9 @@ from repro.sweep.spec import VRM_NAMES, ScenarioSpec
 #: (88 nominal channels at 300 um pitch).
 ARRAY_SPAN_UM = TABLE2["channel_count"] * TABLE2["channel_pitch_um"]
 
-#: Junction temperature limit used for feasibility verdicts [C].
-TEMPERATURE_LIMIT_C = 85.0
+#: Junction temperature limit used for feasibility verdicts [C] — the
+#: shared server-silicon limit of :mod:`repro.core.metrics`.
+TEMPERATURE_LIMIT_C = DEFAULT_TEMPERATURE_LIMIT_C
 
 #: Cache power demand the feasibility verdicts compare against [W]
 #: (the paper's explicit 5 A at 1 V).
@@ -172,7 +177,9 @@ def evaluate_operating_point(spec: ScenarioSpec) -> "dict[str, float]":
     vrm = build_vrm(spec.vrm, spec.operating_voltage_v)
     efficiency = float(getattr(vrm, "efficiency", 1.0))
     delivered = generated * efficiency
-    pumping = array_pumping_power_w(spec.total_flow_ml_min)
+    pumping = array_pumping_power_w(
+        spec.total_flow_ml_min, pump_efficiency=spec.pump_efficiency
+    )
     return {
         "peak_temperature_c": peak_c,
         "array_current_a": current,
@@ -238,8 +245,7 @@ def evaluate_geometry(spec: ScenarioSpec) -> "dict[str, float]":
         electrode.permeability_m2,
     )
     pumping = pumping_power(
-        pressure, total_flow,
-        pump_efficiency=PAPER_ANCHORS["pump_efficiency"],
+        pressure, total_flow, pump_efficiency=spec.pump_efficiency
     )
     peak_c = _peak_temperature_c(
         spec.total_flow_ml_min, spec.inlet_temperature_k,
@@ -350,6 +356,54 @@ def evaluate_transient(spec: ScenarioSpec) -> "dict[str, float]":
         "settling_time_s": TransientCosim.settling_time_s(samples),
         "n_samples": float(len(samples)),
     }
+
+
+@register_evaluator("runtime")
+def evaluate_runtime(spec: ScenarioSpec) -> "dict[str, float]":
+    """Closed-loop runtime execution of a named workload trace.
+
+    ``spec.trace`` / ``spec.trace_seed`` pick the schedule
+    (:func:`repro.runtime.trace.standard_trace`, deterministic per seed,
+    so runtime scenarios memoize like any other). ``spec.controller``
+    picks the flow policy: ``fixed`` holds ``total_flow_ml_min`` open
+    loop; ``pid`` closes the loop on peak junction temperature with
+    gains ``pid_kp`` / ``pid_ki``, starting from ``total_flow_ml_min``.
+    Both run under the default hysteresis throttle governor and the
+    case-study electrolyte reservoirs, so the KPIs include throttling
+    and state-of-charge alongside the energy balance.
+    """
+    from repro.runtime import (
+        ElectrolyteState,
+        FixedFlow,
+        PIDFlowController,
+        RuntimeConfig,
+        RuntimeEngine,
+        ThrottleGovernor,
+        standard_trace,
+    )
+
+    trace = standard_trace(spec.trace, seed=spec.trace_seed)
+    if spec.controller == "fixed":
+        controller = FixedFlow(spec.total_flow_ml_min)
+    else:
+        controller = PIDFlowController(
+            kp=spec.pid_kp,
+            ki=spec.pid_ki,
+            initial_flow_ml_min=spec.total_flow_ml_min,
+        )
+    engine = RuntimeEngine(
+        controller,
+        governor=ThrottleGovernor(),
+        reservoir=ElectrolyteState(),
+        config=RuntimeConfig(
+            inlet_temperature_k=spec.inlet_temperature_k,
+            operating_voltage_v=spec.operating_voltage_v,
+            nx=spec.nx,
+            ny=spec.ny,
+            pump_efficiency=spec.pump_efficiency,
+        ),
+    )
+    return engine.run(trace).kpis()
 
 
 @register_evaluator("workload")

@@ -17,6 +17,10 @@ benchmarks run at a handful of points:
 - ``transient`` — utilization-step responses over flow, inlet
   temperature and step size (the bench A14 scenario family; settling
   time and current swing per point).
+- ``runtime``   — closed-loop trace execution: controller policy x
+  workload trace x starting flow through the runtime engine (the bench
+  A16 scenario family; net energy, throttling and peak-T KPIs per
+  trajectory).
 """
 
 from __future__ import annotations
@@ -121,6 +125,21 @@ def _transient_grid(points: int) -> SweepGrid:
     })
 
 
+def _runtime_grid(points: int) -> SweepGrid:
+    # controller x trace pairs per flow point; the closed-loop runs
+    # dominate the cost, so the default grid stays small and extra
+    # points densify the starting-flow axis.
+    controllers = ("fixed", "pid")
+    traces = ("step", "bursty")
+    n_flows = max(1, math.ceil(points / (len(controllers) * len(traces))))
+    return SweepGrid.from_dict({
+        "controller": controllers,
+        "trace": traces,
+        "total_flow_ml_min": _geomspace(169.0, 676.0, n_flows)
+        if n_flows > 1 else [676.0],
+    })
+
+
 PRESETS: "dict[str, SweepPreset]" = {
     preset.name: preset
     for preset in (
@@ -171,6 +190,17 @@ PRESETS: "dict[str, SweepPreset]" = {
             ),
             grid_builder=_transient_grid,
             default_points=8,
+        ),
+        SweepPreset(
+            name="runtime",
+            description="closed-loop trace execution: controller x trace "
+            "x starting flow",
+            # Reduced raster as in the transient preset: trajectory KPIs
+            # are raster-insensitive and each point integrates a whole
+            # trace. nx stays a multiple of the 11 channel groups.
+            base=ScenarioSpec(evaluator="runtime", nx=22, ny=11),
+            grid_builder=_runtime_grid,
+            default_points=4,
         ),
     )
 }

@@ -22,7 +22,7 @@ import json
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
-from repro.casestudy.tables import TABLE2
+from repro.casestudy.tables import PAPER_ANCHORS, TABLE2
 from repro.errors import ConfigurationError
 
 #: Spec fields that identify a scenario physically; ``label`` is cosmetic
@@ -31,6 +31,9 @@ _NON_IDENTITY_FIELDS = frozenset({"label"})
 
 #: Regulator technologies :func:`repro.sweep.evaluators.build_vrm` knows.
 VRM_NAMES = ("ideal", "sc", "buck")
+
+#: Flow-controller policies the ``runtime`` evaluator knows.
+CONTROLLER_NAMES = ("fixed", "pid")
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,20 @@ class ScenarioSpec:
         t = 0 goes ``utilization_before`` -> ``utilization``.
     step_duration_s / step_dt_s:
         Horizon and sample interval of the transient step response.
+    pump_efficiency:
+        Pump efficiency in (0, 1] used wherever an evaluator prices
+        hydraulic power (the paper's Section III-B assumes 0.5).
+    trace / trace_seed:
+        Named workload trace (runtime evaluator); see
+        :func:`repro.runtime.trace.standard_trace`. The seed pins the
+        ``bursty`` trace's burst pattern.
+    controller:
+        Flow-control policy of the runtime evaluator: ``fixed`` (open
+        loop at ``total_flow_ml_min``) or ``pid`` (closed loop on peak
+        junction temperature).
+    pid_kp / pid_ki:
+        PID gains [ml/min per K, ml/min per K.s] of the runtime
+        evaluator's closed-loop controller.
     nx / ny:
         Thermal raster resolution.
     label:
@@ -99,6 +116,12 @@ class ScenarioSpec:
     utilization_before: float = 0.1
     step_duration_s: float = 0.5
     step_dt_s: float = 0.05
+    pump_efficiency: float = PAPER_ANCHORS["pump_efficiency"]
+    trace: str = "step"
+    trace_seed: int = 7
+    controller: str = "pid"
+    pid_kp: float = 40.0
+    pid_ki: float = 60.0
     nx: int = 44
     ny: int = 22
     label: str = ""
@@ -110,8 +133,9 @@ class ScenarioSpec:
         "total_flow_ml_min", "inlet_temperature_k", "channel_width_um",
         "wall_width_um", "operating_voltage_v", "utilization",
         "utilization_before", "step_duration_s", "step_dt_s",
+        "pump_efficiency", "pid_kp", "pid_ki",
     )
-    _INT_FIELDS = ("nx", "ny")
+    _INT_FIELDS = ("nx", "ny", "trace_seed")
 
     def __post_init__(self) -> None:
         for name in self._FLOAT_FIELDS:
@@ -140,6 +164,14 @@ class ScenarioSpec:
             raise ConfigurationError(
                 "step timing needs 0 < step_dt_s <= step_duration_s"
             )
+        if not 0.0 < self.pump_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"pump efficiency must be in (0, 1], got {self.pump_efficiency}"
+            )
+        if self.trace_seed < 0:
+            raise ConfigurationError("trace seed must be >= 0")
+        if self.pid_kp < 0.0 or self.pid_ki < 0.0:
+            raise ConfigurationError("PID gains must be >= 0")
         if self.nx < 2 or self.ny < 2:
             raise ConfigurationError("thermal raster needs nx, ny >= 2")
         # The enum-like fields are closed sets; rejecting typos here means
@@ -148,12 +180,23 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"unknown VRM {self.vrm!r}; expected one of {VRM_NAMES}"
             )
+        if self.controller not in CONTROLLER_NAMES:
+            raise ConfigurationError(
+                f"unknown controller {self.controller!r}; expected one of "
+                f"{CONTROLLER_NAMES}"
+            )
         from repro.casestudy.workloads import WORKLOAD_NAMES
 
         if self.workload not in WORKLOAD_NAMES:
             raise ConfigurationError(
                 f"unknown workload {self.workload!r}; expected one of "
                 f"{WORKLOAD_NAMES}"
+            )
+        from repro.runtime.trace import TRACE_NAMES
+
+        if self.trace not in TRACE_NAMES:
+            raise ConfigurationError(
+                f"unknown trace {self.trace!r}; expected one of {TRACE_NAMES}"
             )
 
     @classmethod

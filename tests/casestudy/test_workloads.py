@@ -36,11 +36,36 @@ class TestWorkloadDefinition:
         assert workload.factor_for("core1_bot", BlockKind.CORE) == 0.0
         assert workload.factor_for("core2_bot", BlockKind.CORE) == 0.5
 
-    def test_rejects_silly_factors(self):
+    @pytest.mark.parametrize("factor", [0.0, 1.0, 1.5])
+    def test_boundary_factors_accepted(self, factor):
+        """The documented range is [0, MAX_ACTIVITY_FACTOR]: power-gated
+        (0.0), nominal full load (1.0) and the boost ceiling (1.5) are
+        all legal, via both the kind map and per-block overrides."""
+        by_kind = Workload(name="x", activity={BlockKind.CORE: factor})
+        assert by_kind.factor_for("core1_bot", BlockKind.CORE) == factor
+        by_block = Workload(name="x", block_overrides={"core1_bot": factor})
+        assert by_block.factor_for("core1_bot", BlockKind.CORE) == factor
+
+    def test_boost_range_is_documented_constant(self):
+        from repro.casestudy.workloads import MAX_ACTIVITY_FACTOR
+
+        assert MAX_ACTIVITY_FACTOR == 1.5
+        Workload(name="x", activity={BlockKind.CORE: MAX_ACTIVITY_FACTOR})
+
+    @pytest.mark.parametrize("factor", [-0.1, -1e-9, 1.5 + 1e-9, 2.0])
+    def test_rejects_factors_beyond_the_range(self, factor):
         with pytest.raises(ConfigurationError):
-            Workload(name="x", activity={BlockKind.CORE: -0.1})
+            Workload(name="x", activity={BlockKind.CORE: factor})
         with pytest.raises(ConfigurationError):
-            Workload(name="x", block_overrides={"a": 2.0})
+            Workload(name="x", block_overrides={"a": factor})
+
+    def test_boost_scales_power_beyond_full_load(self, floorplan):
+        boosted = Workload(name="boost", activity={
+            kind: 1.5 for kind in BlockKind
+        })
+        assert boosted.total_power_w(floorplan) == pytest.approx(
+            1.5 * full_load().total_power_w(floorplan)
+        )
 
 
 class TestPowerMaps:

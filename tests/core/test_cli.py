@@ -51,12 +51,60 @@ class TestCommands:
         assert "pumping power [W]" in output
 
 
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        import repro
+
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_package_version_falls_back_to_source_tree(self):
+        # In a PYTHONPATH=src checkout there is no installed distribution;
+        # the helper must still answer.
+        from repro.cli import package_version
+
+        assert package_version()
+
+
+class TestRuntimeCommand:
+    def test_parser_accepts_runtime(self):
+        args = build_parser().parse_args(
+            ["runtime", "--trace", "step", "--controller", "fixed"]
+        )
+        assert args.command == "runtime"
+        assert args.trace == "step"
+        assert args.controller == "fixed"
+        assert args.flow == 676.0
+
+    def test_unknown_trace_fails_at_run_time(self, capsys):
+        assert main(["runtime", "--trace", "nope"]) == 2
+        assert "unknown trace" in capsys.readouterr().err
+
+    def test_runtime_prints_kpis_and_exports(self, capsys, tmp_path):
+        csv_path = tmp_path / "trajectory.csv"
+        assert main([
+            "runtime", "--trace", "step", "--controller", "fixed",
+            "--csv", str(csv_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "runtime 'step'" in output
+        assert "net_energy_j" in output
+        assert "peak_temperature_c" in output
+        from repro.io import load_csv
+
+        records = load_csv(csv_path)
+        assert len(records) > 10
+        assert records[0]["time_s"] > 0.0
+
+
 class TestPresetListing:
     def test_sweep_list_prints_presets(self, capsys):
         assert main(["sweep", "--list"]) == 0
         output = capsys.readouterr().out
         for name in ("flow", "geometry", "vrm", "workloads", "cosim",
-                     "transient"):
+                     "transient", "runtime"):
             assert name in output
         # one line per preset, each carrying a description
         assert "cooling vs generation vs pumping" in output
@@ -64,7 +112,8 @@ class TestPresetListing:
     def test_optimize_list_prints_presets(self, capsys):
         assert main(["optimize", "--list"]) == 0
         output = capsys.readouterr().out
-        for name in ("flow-optimum", "geometry-pareto", "vrm-tradeoff"):
+        for name in ("flow-optimum", "geometry-pareto", "vrm-tradeoff",
+                     "runtime-pid"):
             assert name in output
 
     def test_sweep_without_preset_errors(self, capsys):

@@ -26,6 +26,39 @@ class TestEnergyBalance:
     def test_free_flow(self):
         assert EnergyBalance(1.0, 0.0).gain_ratio == float("inf")
 
+    def test_from_hydraulics_prices_the_pump(self):
+        # 1 kPa at 1 L/s is 1 W hydraulic; the paper's 50 % pump doubles
+        # the electrical cost, a perfect pump pays it exactly.
+        default = EnergyBalance.from_hydraulics(6.0, 1000.0, 1e-3)
+        assert default.pumping_w == pytest.approx(2.0)
+        ideal = EnergyBalance.from_hydraulics(
+            6.0, 1000.0, 1e-3, pump_efficiency=1.0
+        )
+        assert ideal.pumping_w == pytest.approx(1.0)
+        assert ideal.net_w > default.net_w
+
+    def test_from_hydraulics_matches_case_study_anchor(self):
+        from repro.casestudy.power7plus import (
+            array_pressure_drop_pa,
+            array_pumping_power_w,
+        )
+        from repro.units import m3s_from_ml_per_min
+
+        balance = EnergyBalance.from_hydraulics(
+            6.0, array_pressure_drop_pa(676.0), m3s_from_ml_per_min(676.0)
+        )
+        assert balance.pumping_w == pytest.approx(array_pumping_power_w(676.0))
+        assert balance.pumping_w == pytest.approx(4.4, abs=0.1)
+        # A realistic 80 % pump, threaded through the same path.
+        assert array_pumping_power_w(
+            676.0, pump_efficiency=0.8
+        ) == pytest.approx(balance.pumping_w * 0.5 / 0.8)
+
+    def test_from_hydraulics_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            EnergyBalance.from_hydraulics(6.0, 1000.0, 1e-3,
+                                          pump_efficiency=0.0)
+
     def test_rejects_negative(self):
         with pytest.raises(ConfigurationError):
             EnergyBalance(-1.0, 1.0)

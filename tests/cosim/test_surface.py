@@ -133,6 +133,81 @@ class TestGrid:
             PolarizationSurface(676.0, 0)
 
 
+class TestGridEdges:
+    """Out-of-grid behavior pinned against direct construction.
+
+    Regression guard for the edge conventions: queries *at* the covered
+    window's endpoints are exact node evaluations (the bracketing clamp
+    never blends in data from outside the grid), anything strictly
+    beyond raises rather than extrapolating, and a window whose span is
+    not an integer multiple of the resolution is extended (never
+    truncated) to the next node.
+    """
+
+    @pytest.fixture(scope="class")
+    def narrow(self):
+        return PolarizationSurface(
+            676.0, CHANNELS_PER_GROUP, n_curve_points=35,
+            temperature_range_k=(300.0, 304.0), resolution_k=1.0,
+        )
+
+    @pytest.mark.parametrize("edge", [0, -1])
+    def test_edge_queries_match_direct_construction(self, narrow, edge):
+        edge_t = float(narrow.node_temperatures_k[edge])
+        curve = direct_group_curve(676.0, edge_t, 35)
+        direct = FlowCellArray.combine_at_voltage([curve], 1.0)
+        # Exact, not approximately: the edge query must evaluate the
+        # edge node's own curve, with zero interpolation weight leaking
+        # toward the interior.
+        assert narrow.current_at(edge_t, 1.0) == pytest.approx(
+            direct, rel=1e-12
+        )
+        assert narrow.ocv_at(edge_t) == pytest.approx(
+            curve.open_circuit_voltage_v, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("epsilon", [1e-9, 0.01, 5.0])
+    def test_beyond_either_edge_raises_not_extrapolates(self, narrow,
+                                                        epsilon):
+        lo, hi = narrow.temperature_range_k
+        for bad in (lo - epsilon, hi + epsilon):
+            with pytest.raises(ConfigurationError, match="outside"):
+                narrow.currents_at([bad], 1.0)
+            with pytest.raises(ConfigurationError, match="outside"):
+                narrow.ocvs_at([bad])
+
+    def test_one_bad_temperature_fails_the_whole_batch(self, narrow):
+        lo, hi = narrow.temperature_range_k
+        with pytest.raises(ConfigurationError):
+            narrow.currents_at([lo, 0.5 * (lo + hi), hi + 1.0], 1.0)
+
+    def test_non_multiple_span_overshoots_to_the_next_node(self):
+        surface = PolarizationSurface(
+            676.0, CHANNELS_PER_GROUP, n_curve_points=20,
+            temperature_range_k=(300.0, 301.3), resolution_k=0.5,
+        )
+        lo, hi = surface.temperature_range_k
+        assert lo == pytest.approx(300.0)
+        # The covered window extends past the requested 301.3 K max...
+        assert hi == pytest.approx(301.5)
+        # ...and the extension is queryable, not a dead zone.
+        assert surface.current_at(301.4, 1.0) > 0.0
+        with pytest.raises(ConfigurationError):
+            surface.current_at(301.5 + 1e-6, 1.0)
+
+    def test_edge_interval_interpolates_between_its_nodes(self, narrow):
+        """A query inside the last interval blends only the last two
+        nodes (the index clamp at len-2 must not shift the bracket)."""
+        t_lo = float(narrow.node_temperatures_k[-2])
+        t_hi = float(narrow.node_temperatures_k[-1])
+        inside = 0.75 * t_hi + 0.25 * t_lo
+        current = narrow.current_at(inside, 1.0)
+        bracket = sorted([
+            narrow.current_at(t_lo, 1.0), narrow.current_at(t_hi, 1.0)
+        ])
+        assert bracket[0] <= current <= bracket[1]
+
+
 class TestSharing:
     def test_same_config_shares_one_surface(self):
         config = CosimConfig(nx=44, ny=22, n_curve_points=35)

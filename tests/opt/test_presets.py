@@ -17,7 +17,8 @@ from repro.sweep.evaluators import evaluator_names
 class TestRegistry:
     def test_names_sorted_and_complete(self):
         assert preset_names() == (
-            "flow-optimum", "geometry-pareto", "vrm-tradeoff"
+            "flow-optimum", "geometry-pareto", "runtime-pid",
+            "vrm-tradeoff"
         )
         assert set(preset_names()) == set(PRESETS)
 
@@ -66,6 +67,19 @@ class TestPresetStructure:
             objectives = get_preset(name).problem.objectives
             assert len(objectives) == 2
             assert {o.mode for o in objectives} == {"max", "min"}
+
+    def test_runtime_pid_tunes_gains_under_the_thermal_limit(self):
+        preset = get_preset("runtime-pid")
+        assert preset.problem.base.evaluator == "runtime"
+        assert preset.problem.base.controller == "pid"
+        assert preset.problem.base.trace == "bursty"
+        assert {a.field for a in preset.problem.axes} == {
+            "pid_kp", "pid_ki"
+        }
+        (objective,) = preset.problem.objectives
+        assert objective.describe() == "max net_energy_j"
+        described = [c.describe() for c in preset.problem.constraints]
+        assert "peak_temperature_c <= 85" in described
 
     def test_vrm_tradeoff_excludes_the_ideal_regulator(self):
         preset = get_preset("vrm-tradeoff")

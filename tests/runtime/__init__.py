@@ -1,0 +1,1 @@
+"""Tests for the closed-loop runtime subsystem."""

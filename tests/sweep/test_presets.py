@@ -11,7 +11,8 @@ from repro.sweep import get_preset, preset_names
 class TestPresets:
     def test_known_presets(self):
         assert preset_names() == (
-            "cosim", "flow", "geometry", "transient", "vrm", "workloads"
+            "cosim", "flow", "geometry", "runtime", "transient", "vrm",
+            "workloads"
         )
 
     def test_unknown_preset_raises(self):
@@ -25,6 +26,7 @@ class TestPresets:
         ("workloads", "workload"),
         ("cosim", "cosim"),
         ("transient", "transient"),
+        ("runtime", "runtime"),
     ])
     def test_preset_targets_its_evaluator(self, name, evaluator):
         preset = get_preset(name)

@@ -15,6 +15,8 @@ class TestScenarioSpec:
         assert spec.channel_width_um == 200.0
         assert spec.wall_width_um == 100.0
         assert spec.evaluator == "operating_point"
+        assert spec.pump_efficiency == 0.5  # the paper's pump
+        assert spec.controller == "pid"
 
     @pytest.mark.parametrize("changes", [
         {"total_flow_ml_min": 0.0},
@@ -33,6 +35,13 @@ class TestScenarioSpec:
         {"nx": 1},
         {"vrm": "bucK"},
         {"workload": "full loda"},
+        {"pump_efficiency": 0.0},
+        {"pump_efficiency": 1.01},
+        {"trace": "stpe"},
+        {"trace_seed": -1},
+        {"controller": "bang-bang"},
+        {"pid_kp": -1.0},
+        {"pid_ki": -0.5},
     ])
     def test_validation_rejects(self, changes):
         with pytest.raises(ConfigurationError):

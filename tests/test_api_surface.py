@@ -85,6 +85,11 @@ PACKAGES = [
     "repro.opt.pareto",
     "repro.opt.refine",
     "repro.opt.presets",
+    "repro.runtime",
+    "repro.runtime.trace",
+    "repro.runtime.controllers",
+    "repro.runtime.state",
+    "repro.runtime.engine",
 ]
 
 
@@ -110,8 +115,12 @@ def test_all_entries_resolve(package):
 
 def test_top_level_version():
     import repro
+    from repro.cli import package_version
 
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
+    # The CLI's --version resolves to the same number whether or not the
+    # package is installed as a distribution.
+    assert package_version() == "1.1.0"
 
 
 def test_module_docstrings_exist():
