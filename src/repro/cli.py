@@ -8,8 +8,8 @@ Gives the reproduction a zero-code entry point:
   print its series/map;
 - ``cosim``   — the Section III-B coupling scenarios;
 - ``sweep``   — batch design-space exploration through the
-  :mod:`repro.sweep` engine (named presets, process parallelism,
-  CSV/JSON export);
+  :mod:`repro.sweep` engine (named presets, selectable evaluation
+  backend via ``--backend``, CSV/JSON export);
 - ``optimize`` — design-space optimization through :mod:`repro.opt`
   (objectives + constraints, Pareto frontiers, adaptive refinement);
 - ``runtime`` — closed-loop execution of a workload trace through
@@ -169,14 +169,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     preset = get_preset(args.preset)
     specs = preset.expand(args.points)
     runner = SweepRunner(
-        n_workers=args.jobs, cache=SweepCache(directory=args.cache_dir)
+        n_workers=args.jobs,
+        cache=SweepCache(directory=args.cache_dir),
+        backend=args.backend,
     )
     results = runner.run(specs)
 
     print(
         f"sweep '{preset.name}' — {preset.description}\n"
         f"{len(specs)} scenarios through the {preset.base.evaluator!r} "
-        f"evaluator ({args.jobs} worker{'s' if args.jobs != 1 else ''})\n"
+        f"evaluator ({runner.backend.name} backend, {args.jobs} "
+        f"worker{'s' if args.jobs != 1 else ''})\n"
     )
     print(results.table())
     print(
@@ -205,7 +208,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         return 2
     preset = get_preset(args.preset)
     runner = SweepRunner(
-        n_workers=args.jobs, cache=SweepCache(directory=args.cache_dir)
+        n_workers=args.jobs,
+        cache=SweepCache(directory=args.cache_dir),
+        backend=args.backend,
     )
     result = preset.optimizer(runner=runner, max_rounds=args.rounds).run()
 
@@ -379,6 +384,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size; 1 runs in-process (default)",
     )
     sweep.add_argument(
+        "--backend", default=None, metavar="NAME",
+        choices=("serial", "process", "vectorized"),
+        help="evaluation backend: serial, process or vectorized "
+        "(default: derived from --jobs)",
+    )
+    sweep.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist per-scenario results as JSON under DIR and reuse "
         "them on later runs",
@@ -414,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="process-pool size per round; 1 runs in-process (default)",
+    )
+    optimize.add_argument(
+        "--backend", default=None, metavar="NAME",
+        choices=("serial", "process", "vectorized"),
+        help="evaluation backend for every refinement round: serial, "
+        "process or vectorized (default: derived from --jobs)",
     )
     optimize.add_argument(
         "--cache-dir", default=None, metavar="DIR",

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -51,6 +52,55 @@ from repro.runtime.trace import WorkloadTrace
 #: Junction-temperature limit used for violation accounting [degC] — the
 #: shared server-silicon limit of :mod:`repro.core.metrics`.
 TEMPERATURE_LIMIT_C = DEFAULT_TEMPERATURE_LIMIT_C
+
+#: Process-wide store of thermal models keyed on
+#: ``(flow, inlet, nx, ny)``, shared by every engine in the process (the
+#: engines run sequentially; the store is not thread-safe). A runtime
+#: *sweep* creates one engine per scenario — without sharing, each would
+#: rebuild and refactorize models for the very flows its neighbours just
+#: paid for. Bounded: least-recently-used models are evicted.
+_MODEL_STORE: "dict[tuple, object]" = {}
+_MODEL_STORE_MAX = 32
+
+
+def shared_thermal_model(
+    flow_ml_min: float, inlet_temperature_k: float, nx: int, ny: int
+):
+    """The process-wide thermal model for one quantized coolant point."""
+    key = (float(flow_ml_min), float(inlet_temperature_k), int(nx), int(ny))
+    model = _MODEL_STORE.pop(key, None)
+    if model is None:
+        from repro.casestudy.power7plus import build_thermal_model
+
+        model = build_thermal_model(
+            nx=key[2], ny=key[3],
+            total_flow_ml_min=key[0], inlet_temperature_k=key[1],
+        )
+        while len(_MODEL_STORE) >= _MODEL_STORE_MAX:
+            _MODEL_STORE.pop(next(iter(_MODEL_STORE)))
+    _MODEL_STORE[key] = model  # (re)insert as most recently used
+    return model
+
+
+def clear_model_store() -> None:
+    """Drop every shared thermal model (tests, memory pressure)."""
+    _MODEL_STORE.clear()
+
+
+def warm_up(
+    config: "RuntimeConfig", flows_ml_min: "Sequence[float]"
+) -> None:
+    """Pre-build and factorize the models a set of flow commands needs.
+
+    The vectorized sweep backend calls this with the union of a batch's
+    starting flows before the trajectories run: the sparse assembly, the
+    steady LU (initial condition) and the control-step transient LU all
+    land in the shared store once instead of once per engine.
+    """
+    for flow in flows_ml_min:
+        shared_thermal_model(
+            flow, config.inlet_temperature_k, config.nx, config.ny
+        ).warm(dt_s=config.control_dt_s)
 
 
 @dataclass
@@ -318,16 +368,20 @@ class RuntimeEngine:
         )
 
     def _model(self, flow_ml_min: float):
-        """The thermal model for one quantized flow (built once, kept)."""
+        """The thermal model for one quantized flow (built once, shared).
+
+        Models come from the process-wide store, so engines evaluating
+        related scenarios (a runtime sweep, back-to-back traces) share
+        each flow's sparse assembly and factorizations; the per-engine
+        dict only pins this run's models against store eviction.
+        """
         model = self._models.get(flow_ml_min)
         if model is None:
-            from repro.casestudy.power7plus import build_thermal_model
-
-            model = build_thermal_model(
-                nx=self.config.nx,
-                ny=self.config.ny,
-                total_flow_ml_min=flow_ml_min,
-                inlet_temperature_k=self.config.inlet_temperature_k,
+            model = shared_thermal_model(
+                flow_ml_min,
+                self.config.inlet_temperature_k,
+                self.config.nx,
+                self.config.ny,
             )
             self._models[flow_ml_min] = model
         return model

@@ -116,7 +116,14 @@ class ElectrolyteState:
             return 0.0
         requested_c = current_a * dt_s
         usable_c = self.usable_charge_c()
-        drawn_c = min(requested_c, usable_c)
+        # usable_charge_c derives from the SOC *ratio*, so at a zero SOC
+        # floor round-off can leave it an ulp above what the tanks can
+        # exactly supply — a draw the reservoirs would refuse after the
+        # first tank already converted species. Cap the draw a whisker
+        # below the exact remainder so the terminal step always lands
+        # inside both tanks.
+        exact_supply_c = (1.0 - 1e-12) * self.loop.deliverable_charge_c
+        drawn_c = min(requested_c, usable_c, exact_supply_c)
         if drawn_c > 0.0:
             self.loop.step(drawn_c / dt_s, dt_s)
         if requested_c >= usable_c:

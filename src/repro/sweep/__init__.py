@@ -24,6 +24,14 @@ extraction, and adaptive grid refinement — every candidate it evaluates
 flows through :class:`SweepRunner` and lands in the same cache.
 """
 
+from repro.sweep.backends import (
+    BACKEND_NAMES,
+    EvaluationBackend,
+    ProcessBackend,
+    SerialBackend,
+    VectorizedBackend,
+    get_backend,
+)
 from repro.sweep.evaluators import (
     evaluate_spec,
     evaluator_names,
@@ -45,14 +53,20 @@ from repro.sweep.runner import (
 from repro.sweep.spec import ScenarioSpec, SweepGrid
 
 __all__ = [
+    "BACKEND_NAMES",
+    "EvaluationBackend",
     "PRESETS",
+    "ProcessBackend",
     "ScenarioSpec",
+    "SerialBackend",
     "SweepCache",
     "SweepGrid",
     "SweepPreset",
     "SweepResult",
     "SweepResults",
     "SweepRunner",
+    "VectorizedBackend",
+    "get_backend",
     "evaluate_spec",
     "evaluator_names",
     "get_evaluator",

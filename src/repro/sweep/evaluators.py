@@ -160,18 +160,19 @@ def build_vrm(name: str, input_v: float):
 # -- evaluators ---------------------------------------------------------------------
 
 
-@register_evaluator("operating_point")
-def evaluate_operating_point(spec: ScenarioSpec) -> "dict[str, float]":
-    """Cooling vs generation vs pumping at one coolant operating point."""
+def operating_point_metrics(
+    spec: ScenarioSpec, peak_temperature_c: float, array_curve
+) -> "dict[str, float]":
+    """Assemble the ``operating_point`` metrics from their physics inputs.
+
+    Shared between :func:`evaluate_operating_point` (which computes the
+    inputs scenario by scenario) and the vectorized backend's batch
+    kernel (which computes them for whole scenario groups at once), so
+    both paths apply the identical energy-balance formulas.
+    """
     from repro.casestudy.power7plus import array_pumping_power_w
 
-    peak_c = _peak_temperature_c(
-        spec.total_flow_ml_min, spec.inlet_temperature_k,
-        spec.utilization, spec.nx, spec.ny,
-    )
-
-    array = _array(spec.total_flow_ml_min)
-    current = _current_at(array.curve, spec.operating_voltage_v)
+    current = _current_at(array_curve, spec.operating_voltage_v)
     generated = current * spec.operating_voltage_v
 
     vrm = build_vrm(spec.vrm, spec.operating_voltage_v)
@@ -181,7 +182,7 @@ def evaluate_operating_point(spec: ScenarioSpec) -> "dict[str, float]":
         spec.total_flow_ml_min, pump_efficiency=spec.pump_efficiency
     )
     return {
-        "peak_temperature_c": peak_c,
+        "peak_temperature_c": peak_temperature_c,
         "array_current_a": current,
         "generated_w": generated,
         "vrm_efficiency": efficiency,
@@ -192,13 +193,24 @@ def evaluate_operating_point(spec: ScenarioSpec) -> "dict[str, float]":
     }
 
 
-@register_evaluator("geometry")
-def evaluate_geometry(spec: ScenarioSpec) -> "dict[str, float]":
-    """Channel-width design point at fixed array footprint and total flow.
+@register_evaluator("operating_point")
+def evaluate_operating_point(spec: ScenarioSpec) -> "dict[str, float]":
+    """Cooling vs generation vs pumping at one coolant operating point."""
+    peak_c = _peak_temperature_c(
+        spec.total_flow_ml_min, spec.inlet_temperature_k,
+        spec.utilization, spec.nx, spec.ny,
+    )
+    array = _array(spec.total_flow_ml_min)
+    return operating_point_metrics(spec, peak_c, array.curve)
+
+
+def geometry_cell(spec: ScenarioSpec):
+    """(channel count, porous cell) of a geometry design point.
 
     The channel count follows from the footprint: narrower channels (at
     the given wall width) mean more of them and more electrode volume, but
-    a quadratically growing Darcy pumping cost.
+    a quadratically growing Darcy pumping cost. Shared between the serial
+    evaluator and the vectorized batch kernel so both solve the same cell.
     """
     from repro.casestudy.power7plus import (
         build_array_spec,
@@ -207,7 +219,6 @@ def evaluate_geometry(spec: ScenarioSpec) -> "dict[str, float]":
     from repro.flowcell.cell import ColaminarCellSpec
     from repro.flowcell.porous import FlowThroughPorousCell
     from repro.geometry.channel import RectangularChannel
-    from repro.microfluidics.hydraulics import darcy_pressure_drop, pumping_power
     from repro.units import (
         m3s_from_ml_per_min,
         meters_from_mm,
@@ -235,26 +246,35 @@ def evaluate_geometry(spec: ScenarioSpec) -> "dict[str, float]":
         catholyte=base.catholyte,
         volumetric_flow_m3_s=total_flow / count,
     )
-    cell = FlowThroughPorousCell(cell_spec, electrode, n_segments=25)
-    curve = cell.polarization_curve(n_points=30, max_overpotential_v=1.4)
+    return count, FlowThroughPorousCell(cell_spec, electrode, n_segments=25)
+
+
+def geometry_metrics(
+    spec: ScenarioSpec, count: int, cell, curve, peak_temperature_c: float
+) -> "dict[str, float]":
+    """Assemble the ``geometry`` metrics from their physics inputs.
+
+    ``curve`` is the *single-channel* polarization curve of ``cell``;
+    hydraulics are priced here so the serial and vectorized paths share
+    one energy-balance formula.
+    """
+    from repro.microfluidics.hydraulics import darcy_pressure_drop, pumping_power
+    from repro.units import m3s_from_ml_per_min
+
+    total_flow = m3s_from_ml_per_min(spec.total_flow_ml_min)
     current = count * _current_at(curve, spec.operating_voltage_v)
     generated = current * spec.operating_voltage_v
 
     pressure = darcy_pressure_drop(
-        channel, cell_spec.anolyte.fluid, total_flow / count,
-        electrode.permeability_m2,
+        cell.spec.channel, cell.spec.anolyte.fluid, total_flow / count,
+        cell.electrode.permeability_m2,
     )
     pumping = pumping_power(
         pressure, total_flow, pump_efficiency=spec.pump_efficiency
     )
-    peak_c = _peak_temperature_c(
-        spec.total_flow_ml_min, spec.inlet_temperature_k,
-        spec.utilization, spec.nx, spec.ny,
-    )
-
     feasible = (
         generated >= CACHE_DEMAND_W
-        and peak_c <= TEMPERATURE_LIMIT_C
+        and peak_temperature_c <= TEMPERATURE_LIMIT_C
         and generated - pumping > 0.0
     )
     return {
@@ -264,16 +284,29 @@ def evaluate_geometry(spec: ScenarioSpec) -> "dict[str, float]":
         "pressure_drop_pa": pressure,
         "pumping_w": pumping,
         "net_w": generated - pumping,
-        "peak_temperature_c": peak_c,
+        "peak_temperature_c": peak_temperature_c,
         "feasible": float(feasible),
     }
 
 
-@register_evaluator("vrm")
-def evaluate_vrm(spec: ScenarioSpec) -> "dict[str, float]":
-    """Regulator technology comparison at one array tap voltage."""
-    array = _array(spec.total_flow_ml_min)
-    current = _current_at(array.curve, spec.operating_voltage_v)
+@register_evaluator("geometry")
+def evaluate_geometry(spec: ScenarioSpec) -> "dict[str, float]":
+    """Channel-width design point at fixed array footprint and total flow."""
+    count, cell = geometry_cell(spec)
+    curve = cell.polarization_curve(n_points=30, max_overpotential_v=1.4)
+    peak_c = _peak_temperature_c(
+        spec.total_flow_ml_min, spec.inlet_temperature_k,
+        spec.utilization, spec.nx, spec.ny,
+    )
+    return geometry_metrics(spec, count, cell, curve, peak_c)
+
+
+def vrm_metrics(spec: ScenarioSpec, array_curve) -> "dict[str, float]":
+    """Assemble the ``vrm`` metrics from the array polarization curve.
+
+    Shared between :func:`evaluate_vrm` and the vectorized batch kernel.
+    """
+    current = _current_at(array_curve, spec.operating_voltage_v)
     array_power = current * spec.operating_voltage_v
 
     vrm = build_vrm(spec.vrm, spec.operating_voltage_v)
@@ -287,6 +320,13 @@ def evaluate_vrm(spec: ScenarioSpec) -> "dict[str, float]":
         "converter_area_mm2": vrm.required_area_m2(delivered) * 1e6,
         "demand_met": float(delivered >= CACHE_DEMAND_W),
     }
+
+
+@register_evaluator("vrm")
+def evaluate_vrm(spec: ScenarioSpec) -> "dict[str, float]":
+    """Regulator technology comparison at one array tap voltage."""
+    array = _array(spec.total_flow_ml_min)
+    return vrm_metrics(spec, array.curve)
 
 
 @register_evaluator("cosim")
@@ -406,28 +446,30 @@ def evaluate_runtime(spec: ScenarioSpec) -> "dict[str, float]":
     return engine.run(trace).kpis()
 
 
-@register_evaluator("workload")
-def evaluate_workload(spec: ScenarioSpec) -> "dict[str, float]":
-    """Thermal state of one named workload at the coolant operating point."""
+def workload_thermal_model(spec: ScenarioSpec):
+    """Bare (no power map) thermal model of a workload scenario's coolant
+    point — shared between the serial evaluator and the batch kernel,
+    which reuses one model (and one factorization) across every workload
+    at the same coolant operating point."""
     from repro.casestudy.power7plus import build_thermal_stack
-    from repro.casestudy.workloads import standard_workloads
     from repro.geometry.power7 import build_power7_floorplan
     from repro.thermal.model import ThermalModel
-    from repro.thermal.resistance import junction_to_inlet_resistance_k_w
-
-    # Spec validation already pinned the name to WORKLOAD_NAMES, and
-    # standard_workloads() self-checks against the same tuple.
-    workload = {w.name: w for w in standard_workloads()}[spec.workload]
 
     floorplan = build_power7_floorplan()
-    model = ThermalModel(
+    return ThermalModel(
         build_thermal_stack(spec.total_flow_ml_min, spec.inlet_temperature_k),
         floorplan.width_m, floorplan.height_m, spec.nx, spec.ny,
-    )
-    model.set_power_map(
-        "active_si", workload.power_map(spec.nx, spec.ny, floorplan)
-    )
-    solution = model.solve_steady()
+    ), floorplan
+
+
+def workload_metrics(model, solution) -> "dict[str, float]":
+    """Assemble the ``workload`` metrics from a solved thermal state.
+
+    ``model`` must carry the workload's power map (it feeds both the
+    total power and the lumped junction-to-inlet resistance).
+    """
+    from repro.thermal.resistance import junction_to_inlet_resistance_k_w
+
     return {
         "total_power_w": model.total_power_w(),
         "peak_temperature_c": solution.peak_celsius,
@@ -435,3 +477,20 @@ def evaluate_workload(spec: ScenarioSpec) -> "dict[str, float]":
             solution, model
         ),
     }
+
+
+@register_evaluator("workload")
+def evaluate_workload(spec: ScenarioSpec) -> "dict[str, float]":
+    """Thermal state of one named workload at the coolant operating point."""
+    from repro.casestudy.workloads import standard_workloads
+
+    # Spec validation already pinned the name to WORKLOAD_NAMES, and
+    # standard_workloads() self-checks against the same tuple.
+    workload = {w.name: w for w in standard_workloads()}[spec.workload]
+
+    model, floorplan = workload_thermal_model(spec)
+    model.set_power_map(
+        "active_si", workload.power_map(spec.nx, spec.ny, floorplan)
+    )
+    solution = model.solve_steady()
+    return workload_metrics(model, solution)

@@ -4,43 +4,28 @@
 (or a :class:`~repro.sweep.spec.SweepGrid`) into
 :class:`SweepResult` records. It deduplicates physically identical specs,
 memoizes evaluations in a :class:`SweepCache` (in-memory, optionally
-persisted to a directory of JSON files keyed on the spec hash), and can
-fan the remaining work out over a ``concurrent.futures`` process pool.
+persisted to a directory of JSON files keyed on the spec hash), and hands
+the remaining unique work to a pluggable
+:class:`~repro.sweep.backends.EvaluationBackend` — in-process serial, a
+``concurrent.futures`` process pool, or grouped numpy-batched evaluation
+(see :mod:`repro.sweep.backends`).
 
-Results come back in input order regardless of worker completion order,
-and the parallel path produces bit-identical metrics to the serial path:
-workers run the same pure evaluator functions on the same specs, so only
-the scheduling differs.
+Results come back in input order regardless of backend scheduling. The
+serial and process backends produce bit-identical metrics (same pure
+evaluator functions, different scheduling); the vectorized backend
+matches them within :data:`repro.sweep.vectorized.EQUIVALENCE_RTOL`.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.errors import ConfigurationError
-from repro.sweep.evaluators import Evaluator, get_evaluator
+from repro.sweep.backends import EvaluationBackend, get_backend
+from repro.sweep.evaluators import get_evaluator
 from repro.sweep.spec import ScenarioSpec, SweepGrid
-
-
-def _timed_evaluate(
-    task: "tuple[Evaluator, ScenarioSpec]",
-) -> "tuple[dict[str, float], float]":
-    """Evaluate one (evaluator, spec) pair, returning (metrics, seconds).
-
-    Module-level so :class:`ProcessPoolExecutor` can pickle it by
-    reference. The evaluator callable is resolved in the *parent* and
-    shipped with the spec, so evaluators registered outside
-    :mod:`repro.sweep.evaluators` still work under spawn/forkserver
-    start methods (workers never consult the registry).
-    """
-    evaluator, spec = task
-    start = time.perf_counter()
-    metrics = evaluator(spec)
-    return metrics, time.perf_counter() - start
 
 
 @dataclass(frozen=True)
@@ -244,20 +229,31 @@ class SweepRunner:
     Parameters
     ----------
     n_workers:
-        1 evaluates in-process; >1 fans unique, uncached specs out over a
-        process pool of that size. Results are identical either way.
+        With the default backend: 1 evaluates in-process, >1 fans unique,
+        uncached specs out over a process pool of that size. Results are
+        identical either way. An explicit ``backend`` takes precedence.
     cache:
         Shared :class:`SweepCache`; defaults to a fresh in-memory cache
         per runner.
+    backend:
+        Evaluation strategy for unique, uncached specs: a backend name
+        (``"serial"``, ``"process"``, ``"vectorized"``), an
+        :class:`~repro.sweep.backends.EvaluationBackend` instance, or
+        ``None`` for the ``n_workers``-derived default. See
+        :mod:`repro.sweep.backends`.
     """
 
     def __init__(
-        self, n_workers: int = 1, cache: "SweepCache | None" = None
+        self,
+        n_workers: int = 1,
+        cache: "SweepCache | None" = None,
+        backend: "str | EvaluationBackend | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
         self.n_workers = n_workers
         self.cache = cache if cache is not None else SweepCache()
+        self.backend = get_backend(backend, n_workers)
 
     def run(
         self, scenarios: "Sequence[ScenarioSpec] | SweepGrid"
@@ -312,12 +308,7 @@ class SweepRunner:
 
         unique = [(key, specs[indices[0]]) for key, indices in pending.items()]
         tasks = [(get_evaluator(spec.evaluator), spec) for _, spec in unique]
-        if self.n_workers > 1 and len(unique) > 1:
-            workers = min(self.n_workers, len(unique))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                evaluated = list(pool.map(_timed_evaluate, tasks))
-        else:
-            evaluated = [_timed_evaluate(task) for task in tasks]
+        evaluated = self.backend.evaluate(tasks)
 
         for (key, _), (metrics, elapsed) in zip(unique, evaluated):
             self.cache.put(key, metrics)

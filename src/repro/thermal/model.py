@@ -359,6 +359,29 @@ class ThermalModel:
             rhs[offset: offset + self.nx * self.ny] += power.ravel()
         return matrix, rhs
 
+    def warm(self, dt_s: "float | None" = None) -> "ThermalModel":
+        """Assemble and factorize ahead of the first solve; returns self.
+
+        Pre-pays the model's one-time costs — sparse assembly, the steady
+        LU and (with ``dt_s``) the backward-Euler step factorization — so
+        callers that build models speculatively (the runtime engine's
+        per-quantized-flow warm-up, sweep backends) move that work out of
+        the stepping loop. Idempotent: warm parts are not recomputed.
+        """
+        matrix, _ = self._build_system()
+        if self._steady_lu is None:
+            self._steady_lu = factorize_steady(matrix)
+        if dt_s is not None:
+            if dt_s <= 0.0:
+                raise ConfigurationError("dt must be > 0")
+            if self._capacitance is None:
+                self._capacitance = self.capacitance_vector()
+            if dt_s not in self._transient_lus:
+                self._transient_lus[dt_s] = factorize_transient(
+                    matrix, self._capacitance, dt_s
+                )
+        return self
+
     def solve_steady(self) -> ThermalSolution:
         """Solve the steady-state temperature field (the Fig. 9 quantity)."""
         matrix, rhs = self._build_system()

@@ -3,12 +3,32 @@
 Expensive objects (solved thermal models, polarization curves, PDN
 solutions) are session-scoped: they are deterministic pure functions of the
 calibrated configuration, so sharing them across tests only saves time.
+
+Hypothesis profiles: the ``ci`` profile (selected via
+``HYPOTHESIS_PROFILE=ci``, as the CI workflow's props step does) runs the
+property suites derandomized with CI-sized example counts, so CI failures
+reproduce locally and runtimes stay flat; the default profile keeps
+Hypothesis' randomized exploration for local runs.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+hypothesis_settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=20,
+    deadline=None,
+    print_blob=True,
+)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "default")
+)
 
 from repro.casestudy.power7plus import (
     Power7CaseStudy,

@@ -1,0 +1,109 @@
+"""Determinism regressions: exports must be byte-identical across runs.
+
+The sweep/opt/runtime stack promises pure-function behaviour: the same
+scenarios produce the same records whatever the scheduling. These tests
+pin that promise at the artifact level — the CSV/JSON files two
+independent runs write must match *byte for byte*, including across
+``workers=1`` vs ``workers=N`` and across evaluation backends, because
+diffable exports are what makes cached replays and CI comparisons
+trustworthy.
+
+Seeded stochastic traces (bursty, diurnal) are the cases most likely to
+rot: any hidden global-RNG use or dict-ordering dependence would show up
+here first.
+"""
+
+import pytest
+
+from repro.runtime.trace import standard_trace
+from repro.sweep import ScenarioSpec, SweepRunner
+from repro.opt import get_preset
+
+
+def read_bytes(path) -> bytes:
+    return path.read_bytes()
+
+
+#: The seeded stochastic runtime scenarios under test (reduced raster, as
+#: the runtime preset uses).
+RUNTIME_SPECS = [
+    ScenarioSpec(
+        evaluator="runtime", trace="bursty", trace_seed=7, nx=22, ny=11
+    ),
+    ScenarioSpec(
+        evaluator="runtime", trace="diurnal", trace_seed=11, nx=22, ny=11
+    ),
+]
+
+
+class TestTraceDeterminism:
+    def test_seeded_traces_reproduce_exactly(self):
+        """Same name + seed -> identical segment schedules, object for
+        object; a different seed changes the bursty pattern."""
+        for name in ("bursty", "diurnal"):
+            first = standard_trace(name, seed=7)
+            second = standard_trace(name, seed=7)
+            assert first.segments == second.segments
+        assert (
+            standard_trace("bursty", seed=7).segments
+            != standard_trace("bursty", seed=8).segments
+        )
+
+
+class TestRuntimeExportDeterminism:
+    @pytest.fixture(scope="class")
+    def exports(self, tmp_path_factory):
+        """CSV/JSON exports of the seeded traces from three runner
+        configurations: twice serial, once with a worker pool."""
+        root = tmp_path_factory.mktemp("runtime-determinism")
+        artifacts = {}
+        for label, runner in (
+            ("first", SweepRunner()),
+            ("second", SweepRunner()),
+            ("workers", SweepRunner(n_workers=2)),
+        ):
+            results = runner.run(RUNTIME_SPECS)
+            csv_path = root / f"{label}.csv"
+            json_path = root / f"{label}.json"
+            results.save_csv(csv_path)
+            results.save_json(json_path)
+            artifacts[label] = (read_bytes(csv_path), read_bytes(json_path))
+        return artifacts
+
+    def test_two_runs_byte_identical(self, exports):
+        assert exports["first"] == exports["second"]
+
+    def test_workers_1_vs_n_byte_identical(self, exports):
+        assert exports["first"] == exports["workers"]
+
+
+class TestOptExportDeterminism:
+    @pytest.fixture(scope="class")
+    def frontiers(self, tmp_path_factory):
+        """Frontier exports of a full refinement search, re-run from
+        scratch (fresh caches) under three configurations."""
+        root = tmp_path_factory.mktemp("opt-determinism")
+        preset = get_preset("vrm-tradeoff")
+        artifacts = {}
+        for label, runner in (
+            ("first", SweepRunner()),
+            ("second", SweepRunner()),
+            ("workers", SweepRunner(n_workers=2)),
+        ):
+            result = preset.optimizer(runner=runner).run()
+            csv_path = root / f"{label}.csv"
+            json_path = root / f"{label}.json"
+            result.frontier.save_csv(csv_path)
+            result.frontier.save_json(json_path)
+            artifacts[label] = (
+                read_bytes(csv_path),
+                read_bytes(json_path),
+                [r.index for r in result.rounds],
+            )
+        return artifacts
+
+    def test_two_runs_byte_identical(self, frontiers):
+        assert frontiers["first"] == frontiers["second"]
+
+    def test_workers_1_vs_n_byte_identical(self, frontiers):
+        assert frontiers["first"] == frontiers["workers"]

@@ -1,0 +1,108 @@
+"""Golden-value tests for the paper-level headline numbers.
+
+The design-space benches (A15/A16) assert these numbers behind full
+refinement runs, which only execute when the benchmark suite does. This
+module pins the same headlines on *small fixed grids* inside tier-1, so a
+regression in the physics or the evaluators surfaces in
+``pytest -x -q`` long before a bench runs:
+
+- the constrained net-power optimum sits in the paper's low-flow regime
+  (~59 ml/min on the pinned grid), with the 85 degC junction constraint
+  active but satisfied;
+- net power at the optimum beats the nominal 676 ml/min operating point
+  by a wide margin (the whole reason the design question matters);
+- the nominal point reproduces the paper's headline state: ~41-42 degC
+  peak, ~6 A / ~6 W delivered at 1 V (cache demand met), ~+1.6 W net;
+- the 48 ml/min stress case is thermally infeasible at full load, which
+  is why the optimizer must not select it.
+
+Grid and tolerances are fixed: these are regression pins, not physics
+assertions — move them only with a deliberate recalibration.
+"""
+
+import pytest
+
+from repro.sweep import ScenarioSpec, SweepRunner
+from repro.sweep.evaluators import CACHE_DEMAND_W, TEMPERATURE_LIMIT_C
+
+#: The pinned flow grid [ml/min]: stress case, the optimum's bracket,
+#: mid-range points and the Table II nominal.
+GOLDEN_FLOWS = (48.0, 55.0, 59.0, 63.0, 70.0, 120.0, 338.0, 676.0)
+
+NOMINAL_FLOW_ML_MIN = 676.0
+STRESS_FLOW_ML_MIN = 48.0
+
+#: Expected constrained optimum on the pinned grid [ml/min].
+GOLDEN_OPTIMUM_FLOW = 59.0
+
+#: Net power goldens [W] (evaluator values on the 44x22 raster).
+GOLDEN_NET_AT_OPTIMUM_W = 7.19
+GOLDEN_NET_AT_NOMINAL_W = 1.56
+
+#: Peak-temperature goldens [degC].
+GOLDEN_PEAK_AT_OPTIMUM_C = 84.2
+GOLDEN_PEAK_AT_NOMINAL_C = 42.0
+
+
+@pytest.fixture(scope="module")
+def golden_results():
+    """The pinned grid, evaluated once for the whole module."""
+    runner = SweepRunner()
+    results = runner.run(
+        [ScenarioSpec(total_flow_ml_min=flow) for flow in GOLDEN_FLOWS]
+    )
+    return {r.spec.total_flow_ml_min: r.metrics for r in results}
+
+
+class TestFlowOptimumGoldens:
+    def test_constrained_optimum_flow(self, golden_results):
+        """The best thermally feasible point on the grid is ~59 ml/min —
+        the lowest flow whose peak stays under the junction limit."""
+        feasible = {
+            flow: m for flow, m in golden_results.items()
+            if m["peak_temperature_c"] <= TEMPERATURE_LIMIT_C
+            and m["delivered_w"] >= CACHE_DEMAND_W
+        }
+        best_flow = max(feasible, key=lambda f: feasible[f]["net_w"])
+        assert best_flow == GOLDEN_OPTIMUM_FLOW
+
+    def test_thermal_constraint_active_at_optimum(self, golden_results):
+        """The optimum presses against the 85 degC limit from below."""
+        peak = golden_results[GOLDEN_OPTIMUM_FLOW]["peak_temperature_c"]
+        assert peak == pytest.approx(GOLDEN_PEAK_AT_OPTIMUM_C, abs=0.5)
+        assert TEMPERATURE_LIMIT_C - 3.0 < peak <= TEMPERATURE_LIMIT_C
+
+    def test_net_power_at_optimum_vs_nominal(self, golden_results):
+        """Net gain at the optimum dwarfs the paper's nominal point."""
+        optimum = golden_results[GOLDEN_OPTIMUM_FLOW]["net_w"]
+        nominal = golden_results[NOMINAL_FLOW_ML_MIN]["net_w"]
+        assert optimum == pytest.approx(GOLDEN_NET_AT_OPTIMUM_W, abs=0.15)
+        assert nominal == pytest.approx(GOLDEN_NET_AT_NOMINAL_W, abs=0.15)
+        assert optimum > 4.0 * nominal
+
+    def test_stress_case_is_infeasible(self, golden_results):
+        """48 ml/min exceeds the junction limit at full load."""
+        stress = golden_results[STRESS_FLOW_ML_MIN]
+        assert stress["peak_temperature_c"] > TEMPERATURE_LIMIT_C
+
+
+class TestNominalPointGoldens:
+    def test_nominal_thermal_state(self, golden_results):
+        """Peak near the paper's 41 degC figure (44x22 raster value)."""
+        peak = golden_results[NOMINAL_FLOW_ML_MIN]["peak_temperature_c"]
+        assert peak == pytest.approx(GOLDEN_PEAK_AT_NOMINAL_C, abs=1.0)
+
+    def test_nominal_meets_cache_demand(self, golden_results):
+        """~6 A at 1 V covers the cache's 5 W with margin."""
+        nominal = golden_results[NOMINAL_FLOW_ML_MIN]
+        assert nominal["delivered_w"] >= CACHE_DEMAND_W
+        assert nominal["delivered_w"] == pytest.approx(5.96, abs=0.2)
+        assert nominal["demand_met"] == 1.0
+
+    def test_feasible_peaks_never_exceed_limit(self, golden_results):
+        """Every flow at or above the optimum keeps the junction <= 85 C."""
+        for flow, metrics in golden_results.items():
+            if flow >= GOLDEN_OPTIMUM_FLOW:
+                assert (
+                    metrics["peak_temperature_c"] <= TEMPERATURE_LIMIT_C
+                ), flow

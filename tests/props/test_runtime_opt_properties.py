@@ -1,0 +1,270 @@
+"""Property-based invariants of the runtime and optimization subsystems.
+
+Covers the stateful pieces PR 3/4 introduced that example-based tests
+exercise only at a handful of points:
+
+- electrolyte reservoir bookkeeping (SOC window, monotone discharge),
+- the PID flow controller's conditional anti-windup,
+- the throttle governor's hysteresis band,
+- Pareto-front extraction (mutual non-domination, permutation
+  invariance).
+"""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.flowcell.recirculation import ElectrolyteReservoir, RecirculationLoop
+from repro.opt.objective import Objective
+from repro.opt.pareto import dominates, objective_vector, pareto_front
+from repro.runtime.controllers import (
+    Observation,
+    PIDFlowController,
+    ThrottleGovernor,
+)
+from repro.runtime.state import ElectrolyteState
+from repro.sweep.runner import SweepResult
+from repro.sweep.spec import ScenarioSpec
+
+
+def observation(peak_temperature_c: float) -> Observation:
+    """An observation whose only controller-relevant field is the peak."""
+    return Observation(
+        time_s=0.0,
+        peak_temperature_c=peak_temperature_c,
+        flow_ml_min=676.0,
+        utilization=1.0,
+        activity_scale=1.0,
+        generated_w=6.0,
+        pumping_w=4.4,
+        net_w=1.6,
+    )
+
+
+def tiny_loop() -> RecirculationLoop:
+    """A depletable reservoir pair (microlitres, not the 0.5 L default)."""
+    from repro.casestudy.power7plus import build_array_spec
+
+    spec = build_array_spec()
+    return RecirculationLoop(
+        anolyte_tank=ElectrolyteReservoir(spec.anolyte, 2e-8, is_fuel=True),
+        catholyte_tank=ElectrolyteReservoir(
+            spec.catholyte, 2e-8, is_fuel=False
+        ),
+    )
+
+
+class TestElectrolyteStateProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        draws=st.lists(
+            st.tuples(
+                st.floats(0.0, 20.0),  # discharge current [A]
+                st.floats(1e-3, 5.0),  # step length [s]
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        min_soc=st.floats(0.0, 0.5),
+    )
+    def test_soc_window_and_monotone_discharge(self, draws, min_soc):
+        """SOC stays in [0, 1] and never increases without recharge; the
+        sustained current never exceeds the request; depletion latches."""
+        state = ElectrolyteState(loop=tiny_loop(), min_soc=min_soc)
+        previous_soc = state.state_of_charge
+        assert 0.0 <= previous_soc <= 1.0
+        for requested, dt in draws:
+            sustained = state.step(requested, dt)
+            assert 0.0 <= sustained <= requested + 1e-12
+            soc = state.state_of_charge
+            assert 0.0 <= soc <= 1.0
+            assert soc <= previous_soc + 1e-12
+            assert 0.0 <= state.fuel_utilization <= 1.0
+            if state.depleted:
+                # Depletion latches: all further draws sustain zero.
+                assert state.step(requested, dt) == 0.0
+            previous_soc = soc
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        current=st.floats(1.0, 50.0),
+        dt=st.floats(0.1, 2.0),
+    )
+    def test_soc_never_crosses_the_floor(self, current, dt):
+        """Draw until depletion: the SOC floor is respected throughout.
+
+        The microlitre tanks hold a few coulombs, so the >= 0.1 C/step
+        draws below always deplete them within the loop bound.
+        """
+        state = ElectrolyteState(loop=tiny_loop(), min_soc=0.1)
+        for _ in range(200):
+            state.step(current, dt)
+            if state.depleted:
+                break
+        assert state.depleted
+        assert state.state_of_charge >= state.min_soc - 1e-9
+
+
+class TestPIDAntiWindupProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        peaks=st.lists(st.floats(0.0, 200.0), min_size=1, max_size=60),
+        kp=st.floats(0.0, 100.0),
+        ki=st.floats(0.0, 200.0),
+        dt=st.floats(1e-3, 1.0),
+    )
+    def test_command_and_integral_stay_bounded(self, peaks, kp, ki, dt):
+        """Commands clamp to the actuator range and the integral term can
+        never wind up beyond one step past the range.
+
+        The conditional anti-windup accepts an integral update only when
+        the raw command is unclamped or the update pulls back inside, so
+        the stored contribution ``initial + ki * I`` stays within the
+        actuator range padded by one proportional term plus one
+        integration step of the worst error seen.
+        """
+        controller = PIDFlowController(kp=kp, ki=ki)
+        lo, hi = controller.min_flow_ml_min, controller.max_flow_ml_min
+        worst_error = 0.0
+        for peak in peaks:
+            command = controller.flow_command(observation(peak), dt)
+            assert lo <= command <= hi
+            worst_error = max(
+                worst_error, abs(peak - controller.target_peak_c)
+            )
+            stored = (
+                controller.initial_flow_ml_min
+                + ki * controller._integral_k_s
+            )
+            pad = kp * worst_error + ki * worst_error * dt + 1e-9
+            assert lo - pad <= stored <= hi + pad
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hot_steps=st.integers(1, 50),
+        hot_peak=st.floats(100.0, 200.0),
+    )
+    def test_recovery_is_not_delayed_by_windup(self, hot_steps, hot_peak):
+        """After any stretch of saturating-hot observations, a single
+        cold observation immediately pulls the command off the clamp —
+        the signature behaviour anti-windup exists for."""
+        controller = PIDFlowController(kp=40.0, ki=60.0)
+        for _ in range(hot_steps):
+            command = controller.flow_command(observation(hot_peak), 0.05)
+        assert command == controller.max_flow_ml_min
+        recovered = controller.flow_command(observation(20.0), 0.05)
+        assert recovered < controller.max_flow_ml_min
+
+
+class TestThrottleHysteresisProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        start_throttled=st.booleans(),
+        peaks=st.lists(
+            st.floats(80.0, 85.0, exclude_min=True, exclude_max=True),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    def test_no_chatter_inside_the_band(self, start_throttled, peaks):
+        """Peaks strictly inside (release, trip) never flip the throttle
+        state, whichever side it starts on — the definition of the
+        hysteresis band."""
+        governor = ThrottleGovernor(trip_peak_c=85.0, release_peak_c=80.0)
+        if start_throttled:
+            governor.scale_command(observation(90.0))  # trip it first
+            assert governor.throttled
+        initial = governor.throttled
+        for peak in peaks:
+            scale = governor.scale_command(observation(peak))
+            assert governor.throttled == initial
+            expected = governor.throttle_scale if initial else 1.0
+            assert scale == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(peaks=st.lists(st.floats(0.0, 200.0), min_size=1, max_size=60))
+    def test_state_changes_only_at_the_thresholds(self, peaks):
+        """A trip requires peak >= trip point; a release requires peak <
+        release point. No other transition exists."""
+        governor = ThrottleGovernor(trip_peak_c=85.0, release_peak_c=80.0)
+        previous = governor.throttled
+        for peak in peaks:
+            governor.scale_command(observation(peak))
+            if governor.throttled != previous:
+                if governor.throttled:
+                    assert peak >= governor.trip_peak_c
+                else:
+                    assert peak < governor.release_peak_c
+            previous = governor.throttled
+
+
+def results_from_vectors(vectors) -> "list[SweepResult]":
+    """Wrap raw (a, b) metric pairs as sweep results for the front."""
+    return [
+        SweepResult(
+            spec=ScenarioSpec(label=str(index)),
+            metrics={"a": a, "b": b},
+            elapsed_s=0.0,
+            from_cache=False,
+        )
+        for index, (a, b) in enumerate(vectors)
+    ]
+
+
+OBJECTIVES = (Objective("a", "max"), Objective("b", "min"))
+
+metric_pairs = st.lists(
+    st.tuples(
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.floats(-1e6, 1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestParetoProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(vectors=metric_pairs)
+    def test_front_members_mutually_non_dominated(self, vectors):
+        results = results_from_vectors(vectors)
+        front = pareto_front(results, OBJECTIVES)
+        assert front  # finite, non-empty input always yields a front
+        oriented = [objective_vector(r, OBJECTIVES) for r in front]
+        for i, a in enumerate(oriented):
+            for j, b in enumerate(oriented):
+                if i != j:
+                    assert not dominates(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vectors=metric_pairs)
+    def test_every_excluded_point_is_dominated(self, vectors):
+        results = results_from_vectors(vectors)
+        front = pareto_front(results, OBJECTIVES)
+        front_vectors = [objective_vector(r, OBJECTIVES) for r in front]
+        front_labels = {r.spec.label for r in front}
+        for result in results:
+            if result.spec.label in front_labels:
+                continue
+            vector = objective_vector(result, OBJECTIVES)
+            assert any(dominates(f, vector) for f in front_vectors)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vectors=metric_pairs, seed=st.randoms(use_true_random=False))
+    def test_front_invariant_under_permutation(self, vectors, seed):
+        results = results_from_vectors(vectors)
+        shuffled = list(results)
+        seed.shuffle(shuffled)
+        front = pareto_front(results, OBJECTIVES)
+        shuffled_front = pareto_front(shuffled, OBJECTIVES)
+        as_pairs = sorted(
+            (r.metrics["a"], r.metrics["b"]) for r in front
+        )
+        shuffled_pairs = sorted(
+            (r.metrics["a"], r.metrics["b"]) for r in shuffled_front
+        )
+        assert as_pairs == shuffled_pairs
+
+    def test_nan_objective_excluded(self):
+        results = results_from_vectors([(1.0, 1.0), (float("nan"), 0.0)])
+        front = pareto_front(results, OBJECTIVES)
+        assert [r.spec.label for r in front] == ["0"]

@@ -1,0 +1,191 @@
+"""Backend-equivalence matrix: serial vs process vs vectorized.
+
+Every sweep preset is evaluated on all three
+:class:`~repro.sweep.backends.EvaluationBackend` implementations and must
+produce the same result set:
+
+- serial vs process: bit-identical (same pure evaluator functions, only
+  the scheduling differs);
+- serial vs vectorized: within the documented
+  :data:`~repro.sweep.vectorized.EQUIVALENCE_RTOL` (evaluators with a
+  batch kernel) or bit-identical (evaluators that fall back to serial).
+
+Plus the cache-interop contract: results computed by any backend land in
+the shared :class:`~repro.sweep.runner.SweepCache` under the same keys,
+so backends can replay each other's work with zero new evaluations and
+identical hit/miss accounting.
+
+The slow presets (cosim, transient, runtime) run tiny scenario subsets at
+the reduced raster the rest of the suite uses; the fast presets run their
+real grids.
+"""
+
+import math
+
+import pytest
+
+from repro.sweep import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    ScenarioSpec,
+    SerialBackend,
+    SweepCache,
+    SweepRunner,
+    VectorizedBackend,
+    get_backend,
+    get_preset,
+    preset_names,
+)
+from repro.errors import ConfigurationError
+from repro.sweep.vectorized import BATCH_KERNELS, EQUIVALENCE_RTOL
+
+#: Scenario lists per preset: full grids for the fast analytic presets,
+#: reduced-raster subsets for the trajectory-valued ones.
+def preset_scenarios(name: str) -> "list[ScenarioSpec]":
+    preset = get_preset(name)
+    if name in ("cosim", "transient"):
+        return [
+            spec.replace(nx=22, ny=11)
+            for spec in preset.expand(points=2)[:2]
+        ]
+    if name == "runtime":
+        return preset.expand(points=2)[:2]
+    return preset.expand(points=6)
+
+
+def assert_equivalent(reference, other, rtol: float) -> None:
+    """Result-set equality within a relative tolerance, order included."""
+    assert len(reference) == len(other)
+    for a, b in zip(reference, other):
+        assert a.spec == b.spec
+        assert set(a.metrics) == set(b.metrics)
+        for name in a.metrics:
+            ref, got = a.metrics[name], b.metrics[name]
+            if math.isnan(ref):
+                assert math.isnan(got)
+                continue
+            assert got == pytest.approx(ref, rel=rtol, abs=rtol), (
+                f"{a.spec.evaluator}/{name}: {ref} vs {got}"
+            )
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("preset_name", sorted(preset_names()))
+    def test_all_backends_agree(self, preset_name):
+        specs = preset_scenarios(preset_name)
+        serial = SweepRunner(backend="serial").run(specs)
+        process = SweepRunner(
+            backend=ProcessBackend(n_workers=2)
+        ).run(specs)
+        vectorized = SweepRunner(backend="vectorized").run(specs)
+
+        # Process scheduling must not change a single bit.
+        assert_equivalent(serial, process, rtol=0.0)
+        # Vectorized kernels agree within the documented tolerance;
+        # fallback evaluators are bit-identical by construction.
+        evaluator = specs[0].evaluator
+        rtol = EQUIVALENCE_RTOL if evaluator in BATCH_KERNELS else 0.0
+        assert_equivalent(serial, vectorized, rtol=rtol)
+
+
+class TestCacheInterop:
+    def test_vectorized_results_replay_on_serial(self):
+        """Any backend's results serve every other backend's cache."""
+        specs = get_preset("flow").expand(points=5)
+        cache = SweepCache()
+        first = SweepRunner(backend="vectorized", cache=cache).run(specs)
+        assert cache.misses == len(specs)
+        replay = SweepRunner(backend="serial", cache=cache).run(specs)
+        assert cache.misses == len(specs)  # no new evaluations
+        assert all(result.from_cache for result in replay)
+        for a, b in zip(first, replay):
+            assert a.metrics == b.metrics
+
+    def test_hit_and_miss_accounting_matches_across_backends(self):
+        """Dedup + memoization behave identically whatever the backend:
+        same unique-spec count, same hit count, same stored keys."""
+        grid_specs = get_preset("vrm").expand(points=6)
+        duplicated = grid_specs + grid_specs[:3]
+        accounting = {}
+        stored = {}
+        for name in BACKEND_NAMES:
+            cache = SweepCache()
+            SweepRunner(backend=name, cache=cache).run(duplicated)
+            accounting[name] = (cache.hits, cache.misses)
+            stored[name] = {
+                spec.cache_key() for spec in duplicated
+            } - {
+                key for key in (s.cache_key() for s in duplicated)
+                if cache.get(key) is None
+            }
+        assert accounting["serial"] == accounting["process"]
+        assert accounting["serial"] == accounting["vectorized"]
+        assert stored["serial"] == stored["process"] == stored["vectorized"]
+
+    def test_mixed_evaluator_batch_partitions_and_reassembles(self):
+        """A batch mixing kernel and fallback evaluators keeps input
+        order and per-spec correctness."""
+        specs = [
+            ScenarioSpec(evaluator="operating_point", total_flow_ml_min=338.0),
+            ScenarioSpec(evaluator="transient", nx=22, ny=11),
+            ScenarioSpec(evaluator="vrm", vrm="sc"),
+        ]
+        serial = SweepRunner(backend="serial").run(specs)
+        vectorized = SweepRunner(backend="vectorized").run(specs)
+        for a, b in zip(serial, vectorized):
+            assert a.spec == b.spec
+        assert_equivalent(serial, vectorized, rtol=EQUIVALENCE_RTOL)
+
+
+class TestVectorizedCurveCache:
+    def test_eviction_never_drops_the_current_working_set(self):
+        """A batch whose flows overflow the cache bound must still return
+        every requested curve — including ones cached by *earlier* calls
+        (regression: insertion-order eviction used to drop an old-but-
+        requested flow and crash with KeyError)."""
+        from repro.sweep.vectorized import (
+            _ARRAY_CURVE_CACHE_MAX,
+            _array_curves,
+            clear_caches,
+        )
+
+        clear_caches()
+        try:
+            old_flow = 676.0
+            _array_curves([old_flow])  # cached by an earlier batch
+            flows = [old_flow] + [
+                100.0 + k for k in range(_ARRAY_CURVE_CACHE_MAX + 5)
+            ]
+            curves = _array_curves(flows)
+            assert set(curves) == set(flows)
+        finally:
+            clear_caches()
+
+
+class TestBackendSelection:
+    def test_names_resolve(self):
+        for name in BACKEND_NAMES:
+            assert get_backend(name).name == name
+            assert SweepRunner(backend=name).backend.name == name
+
+    def test_instances_pass_through(self):
+        backend = VectorizedBackend(fallback=SerialBackend())
+        assert SweepRunner(backend=backend).backend is backend
+
+    def test_default_derives_from_n_workers(self):
+        assert SweepRunner().backend.name == "serial"
+        assert SweepRunner(n_workers=3).backend.name == "process"
+        assert SweepRunner(n_workers=3).backend.n_workers == 3
+
+    def test_process_by_name_always_fans_out(self):
+        assert get_backend("process", n_workers=1).n_workers >= 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            get_backend("gpu")
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            SweepRunner(backend="gpu")
+
+    def test_process_backend_validates_workers(self):
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(n_workers=0)
