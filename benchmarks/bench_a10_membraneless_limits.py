@@ -9,7 +9,7 @@ crossover fraction — the three numbers that bound membraneless viability.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.casestudy.validation_cell import build_validation_spec
 from repro.core.report import format_table
 from repro.flowcell.fvm import FiniteVolumeColaminarCell
@@ -47,6 +47,12 @@ def test_a10_membraneless_limits(benchmark):
     reynolds = [r[1] for r in rows]
     mixing = [r[2] for r in rows]
     crossover = [r[3] for r in rows]
+    artifact("A10", {
+        "max_reynolds": max(reynolds),
+        "mixing_fastest_um": mixing[-1],
+        "crossover_fastest_pct": crossover[-1],
+        "crossover_slowest_pct": crossover[0],
+    })
     # Deeply laminar at every operating point (the membraneless premise).
     assert all(re < 100.0 for re in reynolds)
     # Mixing zone and crossover shrink monotonically with flow.

@@ -16,7 +16,7 @@ benefit at the same *total* flow:
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.casestudy.power7plus import (
     ACTIVE_SI_THICKNESS_M,
     BEOL_THICKNESS_M,
@@ -83,6 +83,11 @@ def test_a11_flow_allocation(benchmark):
         ),
     )
     by_flow = {r[0]: r for r in rows}
+    artifact("A11", {
+        "gain_676_k": by_flow[676.0][4],
+        "gain_48_k": by_flow[48.0][4],
+        "peak_uniform_48_c": by_flow[48.0][1],
+    })
     # Allocation never hurts the best case and gains grow as flow drops.
     assert all(r[4] > 0.0 for r in rows)
     assert by_flow[48.0][4] > by_flow[676.0][4]

@@ -10,7 +10,7 @@ expected refusal of a fully charged cell to accept fast charge.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.casestudy.power7plus import build_array_cell
 from repro.core.report import format_table
 from repro.flowcell.cycle import charging_curve, mid_soc_cell, voltage_efficiency
@@ -38,6 +38,11 @@ def test_a12_round_trip(benchmark):
         f"SOC: {100 * acceptance:.2f} %",
     )
     efficiencies = [r[1] for r in rows]
+    artifact("A12", {
+        "efficiency_low_current_pct": efficiencies[0],
+        "efficiency_6a_pct": {r[0]: r[1] for r in rows}[6.0],
+        "charge_acceptance": acceptance,
+    })
     # Monotone degradation with current; useful storage range below ~12 A.
     assert all(a > b for a, b in zip(efficiencies, efficiencies[1:]))
     assert efficiencies[0] > 90.0

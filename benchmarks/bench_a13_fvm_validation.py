@@ -20,7 +20,7 @@ layer (delta ~ Q^(-1/3)) stays resolved.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.casestudy.validation_cell import build_validation_cell, build_validation_spec
 from repro.core.report import format_table
 from repro.electrochem.polarization import PolarizationCurve
@@ -82,6 +82,11 @@ def test_a13_fvm_validation(benchmark):
         ),
     )
 
+    artifact("A13", {
+        "max_err_60ul_pct": rows[0][3],
+        "max_err_300ul_pct": rows[1][3],
+        "depletion_deficit_2p5ul_pct": depletion_rows[0][3],
+    })
     for flow, _, _, error in rows:
         assert error < 10.0, flow
     # The depletion deficit is large at the slowest flow and shrinks as

@@ -21,7 +21,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.casestudy.power7plus import (
     ARRAY_CHANNEL_COUNT,
     build_array_cell,
@@ -129,6 +129,12 @@ def test_a14_hot_path_speedup():
             ],
         ),
     )
+    artifact("A14", {
+        "legacy_s": legacy_s,
+        "warm_s": warm_s,
+        "hot_path_speedup": speedup,
+        "array_current_a": result.array_current_a,
+    })
     # Acceptance: currents within 0.5 % of the direct-curve results...
     assert result.array_current_a == pytest.approx(legacy_total, rel=5e-3)
     assert result.isothermal_current_a == pytest.approx(legacy_iso, rel=5e-3)
@@ -169,4 +175,8 @@ def test_a14_transient_step(benchmark):
     assert samples[-1].array_current_a > samples[0].array_current_a
     # Settling (95 % band) happens within the simulated horizon.
     settle = TransientCosim.settling_time_s(samples)
+    artifact("A14", {
+        "settling_time_s": settle,
+        "final_peak_c": peaks[-1],
+    })
     assert 0.0 < settle <= STEP_DURATION_S

@@ -21,7 +21,7 @@ drops — until the 85 C junction limit bites. The optimum is therefore the
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table
 from repro.opt import get_preset
 from repro.sweep import ScenarioSpec, SweepCache, SweepRunner
@@ -74,6 +74,12 @@ def test_a15_flow_optimum(benchmark):
         ),
     )
 
+    artifact("A15", {
+        "flow_optimum_ml_min": flow_opt,
+        "net_at_optimum_w": best.metrics["net_w"],
+        "peak_at_optimum_c": best.metrics["peak_temperature_c"],
+        "net_at_nominal_w": nominal["net_w"],
+    })
     # The optimum sits in the paper's low-flow regime: far below nominal,
     # strictly above the thermally infeasible 48 ml/min stress point.
     assert STRESS_FLOW_ML_MIN < flow_opt < NOMINAL_FLOW_ML_MIN / 4.0
@@ -96,5 +102,9 @@ def test_a15_flow_optimum(benchmark):
     replay = preset.optimizer(runner=SweepRunner(cache=cache)).run()
     assert replay.n_evaluated == 0
     assert replay.n_cached > 0
+    # The stats() accounting agrees: the replay added no misses and the
+    # in-memory cache never saw a corrupt entry.
+    assert cache.stats()["misses"] == cache.misses
+    assert cache.stats()["corrupt"] == 0
     assert replay.best.spec.cache_key() == best.spec.cache_key()
     assert replay.best.metrics == pytest.approx(best.metrics)

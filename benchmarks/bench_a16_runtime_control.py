@@ -21,7 +21,7 @@ every push without the full-size integration cost.
 
 import os
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table
 from repro.sweep import ScenarioSpec, SweepCache, SweepRunner, get_preset
 from repro.sweep.evaluators import TEMPERATURE_LIMIT_C
@@ -75,6 +75,12 @@ def test_a16_pid_beats_fixed_nominal_flow(benchmark):
         ),
     )
 
+    artifact("A16", {
+        "pid_net_j": pid["net_energy_j"],
+        "fixed_net_j": fixed["net_energy_j"],
+        "pid_peak_c": pid["peak_temperature_c"],
+        "pid_mean_flow_ml_min": pid["mean_flow_ml_min"],
+    })
     # Headline: the closed loop strictly beats the static nominal point
     # on net energy — and by a wide margin, not a rounding artifact
     # (pumping falls ~quadratically with flow while generation is nearly
@@ -103,9 +109,13 @@ def test_a16_runtime_preset_replays_from_warm_cache():
     assert all(not result.from_cache for result in first)
 
     # Deterministic traces + spec-keyed memoization: the warm re-run
-    # evaluates nothing.
+    # evaluates nothing — and the stats() accounting shows one hit per
+    # unique spec with no corrupt entries.
     again = runner.run(specs)
-    assert cache.misses == cold_misses
+    stats = cache.stats()
+    assert stats["misses"] == cold_misses
+    assert stats["hits"] >= cold_misses
+    assert stats["corrupt"] == 0
     assert all(result.from_cache for result in again)
     for cold, warm in zip(first, again):
         assert warm.metrics == cold.metrics

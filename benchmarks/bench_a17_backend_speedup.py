@@ -31,7 +31,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table
 from repro.sweep import (
     ProcessBackend,
@@ -107,6 +107,13 @@ def test_a17_backend_speedup(benchmark, preset_name):
         ),
     )
 
+    artifact("A17", {
+        f"{preset_name}_serial_s": serial_s,
+        f"{preset_name}_process_s": process_s,
+        f"{preset_name}_vectorized_s": vectorized_s,
+        f"{preset_name}_speedup": process_s / vectorized_s,
+        f"{preset_name}_worst_rel_dev": deviation,
+    })
     # Equivalence first: a fast wrong answer is not a speedup. Process
     # must match serial bit-for-bit (same pure functions); vectorized
     # within the documented tolerance.

@@ -13,7 +13,7 @@ lives in the ``geometry`` evaluator. Pumping is accounted at the paper's
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table
 from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
 
@@ -48,6 +48,13 @@ def test_a1_geometry_sweep(benchmark):
     )
     currents = {r[0]: r[2] for r in rows}
     pumps = [r[4] for r in rows]
+    artifact("A1", {
+        "current_100um_a": currents[100.0],
+        "current_200um_a": currents[200.0],
+        "current_400um_a": currents[400.0],
+        "pump_100um_w": pumps[0],
+        "pump_400um_w": pumps[-1],
+    })
     # Narrower channels -> more channels and electrode volume -> more
     # current at 1 V.
     assert currents[100.0] > currents[400.0]

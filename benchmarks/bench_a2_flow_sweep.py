@@ -12,7 +12,7 @@ study densified): the loop body lives in the ``operating_point`` evaluator.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table
 from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
 
@@ -47,6 +47,12 @@ def test_a2_flow_sweep(benchmark):
         ),
     )
     by_flow = {r[0]: r for r in rows}
+    artifact("A2", {
+        "peak_48_c": by_flow[48.0][1],
+        "peak_676_c": by_flow[676.0][1],
+        "net_676_w": by_flow[676.0][4],
+        "net_1352_w": by_flow[1352.0][4],
+    })
     # Cooling degrades monotonically as flow drops.
     peaks = [r[1] for r in rows]
     assert all(a >= b - 1e-9 for a, b in zip(peaks, peaks[1:]))

@@ -9,7 +9,7 @@ survives the conversion loss.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table
 from repro.pdn.vrm import BuckVRM, IdealVRM, SwitchedCapacitorVRM
 
@@ -55,6 +55,12 @@ def test_a3_vrm_compare(benchmark, nominal_array):
         ),
     )
     table = {r[0]: r for r in rows}
+    artifact("A3", {
+        "array_power_w": array_power,
+        "ideal_delivered_w": table["ideal"][2],
+        "sc_delivered_w": table["switched-capacitor (ref 22)"][2],
+        "buck_delivered_w": table["buck (ref 23)"][2],
+    })
     # Ideal delivers the most; SC beats buck on efficiency and area.
     assert table["ideal"][2] >= table["switched-capacitor (ref 22)"][2]
     assert (

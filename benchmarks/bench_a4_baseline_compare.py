@@ -7,7 +7,7 @@ utilization (bright vs dark silicon) and I/O connectivity.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.core.baselines import ConventionalBaseline
 from repro.core.report import format_table
 from repro.core.system import IntegratedPowerCoolingSystem
@@ -48,6 +48,14 @@ def test_a4_baseline_compare(benchmark):
         + f"\nI/O bumps freed by fluidic cache supply: {bumps_freed}",
     )
 
+    artifact("A4", {
+        "peak_proposed_c": evaluation.peak_temperature_c,
+        "peak_baseline_c": baseline.peak_temperature_c(1.0),
+        "bright_utilization": evaluation.bright_utilization,
+        "baseline_utilization": evaluation.baseline_utilization,
+        "bumps_freed": bumps_freed,
+    })
+
     assert evaluation.bright_utilization == 1.0
     assert evaluation.baseline_utilization < 1.0
     assert evaluation.peak_temperature_c < baseline.peak_temperature_c(1.0)
@@ -69,4 +77,5 @@ def test_a4_thermal_headroom(benchmark):
 
     peak = benchmark.pedantic(overdriven_peak, rounds=1, iterations=1)
     emit("A4b — 2x power stress", f"peak at 2x full load: {peak:.1f} C")
+    artifact("A4", {"peak_2x_power_c": peak})
     assert peak < 85.0  # bright silicon even at double power

@@ -12,7 +12,7 @@ validation-cell geometry.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.casestudy.power7plus import build_array_cell, build_array_spec
 from repro.casestudy.validation_cell import build_validation_spec
 from repro.core.report import format_table
@@ -48,6 +48,11 @@ def test_a5_planar_vs_porous(benchmark):
         )
         + "\ncache demand: 5 A at 1 V — planar walls cannot meet it.",
     )
+    artifact("A5", {
+        "planar_limit_a": planar_limit,
+        "porous_at_1v_a": porous_at_1v,
+        "porous_max_a": porous_max,
+    })
     # The quantitative reason for substitution note 3: even the planar
     # array's *short-circuit* transport limit is below the 5 A cache
     # demand, while the porous model meets it at 1 V with margin and its
@@ -77,4 +82,5 @@ def test_a5_fv_vs_analytic_on_validation_cell(benchmark):
         f"V(planar) = {v_planar:.3f} V, V(FV) = {v_fv:.3f} V at "
         f"{i_probe * 1e3:.2f} mA",
     )
+    artifact("A5", {"v_planar": v_planar, "v_fv": v_fv})
     assert v_fv == pytest.approx(v_planar, abs=0.08)

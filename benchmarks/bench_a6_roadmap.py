@@ -8,7 +8,7 @@ frontier over improvement-factor pairs.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table
 from repro.core.roadmap import (
     feasibility_matrix,
@@ -43,6 +43,11 @@ def test_a6_roadmap(benchmark):
         f"{minimum_cell_improvement(gap, 3.0):.1f}x",
     )
 
+    artifact("A6", {
+        "chip_power_w": gap.chip_power_w,
+        "array_power_w": gap.array_power_w,
+        "gap_factor": gap.gap_factor,
+    })
     assert 20.0 < gap.gap_factor < 32.0       # "not capable" today
     assert not matrix[0, 0]                   # status quo infeasible
     assert matrix[-1, -1]                     # the two-pronged path closes it
@@ -65,6 +70,7 @@ def test_a6_caches_already_feasible(benchmark, nominal_array):
         f"demand 5 W vs capability {gap.array_power_w:.2f} W "
         f"(gap {gap.gap_factor:.2f}x): feasible without any improvement.",
     )
+    artifact("A6", {"cache_gap_factor": gap.gap_factor})
     assert gap.gap_factor < 1.0
     assert gap.is_closed_by(1.0, 1.0)
     assert gap.array_power_w > gap.chip_power_w

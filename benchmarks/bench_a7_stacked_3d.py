@@ -8,7 +8,7 @@ with every tier at full POWER7+ load.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.casestudy.stacked import (
     build_stacked_thermal_model,
     stack_generation_capability_w,
@@ -46,6 +46,11 @@ def test_a7_stacked_3d(benchmark):
     )
 
     peaks = [r[2] for r in rows]
+    artifact("A7", {
+        "peak_1_tier_c": peaks[0],
+        "peak_4_tier_c": peaks[-1],
+        "generation_4_tier_w": rows[3][3],
+    })
     # Peak grows with tier count but stays bright-silicon even at 4 tiers.
     assert all(a < b for a, b in zip(peaks, peaks[1:]))
     assert peaks[-1] < 85.0

@@ -14,7 +14,7 @@ flow axis to the same study): the scenario thermal solve lives in the
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.casestudy.workloads import WORKLOAD_NAMES
 from repro.core.report import format_table
 from repro.sweep import ScenarioSpec, SweepGrid, SweepRunner
@@ -45,6 +45,11 @@ def test_a8_workload_scenarios(benchmark):
         ),
     )
     by_name = {r[0]: r for r in rows}
+    artifact("A8", {
+        "peak_full_load_c": by_name["full load"][2],
+        "peak_idle_c": by_name["idle"][2],
+        "r_half_dark_k_w": by_name["half dark"][3],
+    })
     # Peak ordering follows power.
     assert by_name["full load"][2] > by_name["memory bound"][2]
     assert by_name["memory bound"][2] > by_name["idle"][2]

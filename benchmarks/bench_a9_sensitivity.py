@@ -8,7 +8,7 @@ permeability) and which the conclusions are robust to.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table
 from repro.core.sensitivity import case_study_tornado
 
@@ -27,6 +27,14 @@ def test_a9_sensitivity_tornado(benchmark):
     )
 
     by_param = {r.parameter: r for r in results}
+    artifact("A9", {
+        "permeability_elasticity":
+            by_param["electrode permeability"].elasticity,
+        "surface_area_elasticity":
+            by_param["electrode specific surface a_s"].elasticity,
+        "convection_elasticity":
+            by_param["convective enhancement"].elasticity,
+    })
     # Pumping power is exactly inverse in permeability (Darcy):
     assert by_param["electrode permeability"].elasticity == pytest.approx(
         -1.0, abs=0.01

@@ -8,15 +8,59 @@ paper-comparable numbers alongside the timing table.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
+from pathlib import Path
 
 import pytest
+
+#: Shared smoke-mode switch: CI sets ``REPRO_BENCH_SMOKE=1`` to shrink
+#: the grids; artifacts record the flag so a smoke run's numbers are
+#: never mistaken for the full-size ones.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 
 def emit(title: str, body: str) -> None:
     """Print a labelled result block (visible with -s or on failure)."""
     bar = "=" * len(title)
     sys.stdout.write(f"\n{title}\n{bar}\n{body}\n")
+
+
+def artifact(name: str, metrics: "dict[str, object]") -> Path:
+    """Record headline bench metrics as ``BENCH_<NAME>.json``.
+
+    Every ablation bench calls this once per test with its few headline
+    numbers; CI uploads the directory as a build artifact so regressions
+    are diffable across runs without re-parsing pytest output. Repeated
+    calls for the same bench (parametrized tests) merge into one file.
+    The directory defaults to ``benchmarks/artifacts`` and is overridden
+    with ``REPRO_BENCH_ARTIFACT_DIR``.
+    """
+    directory = Path(
+        os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "benchmarks/artifacts")
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name.upper()}.json"
+    merged: "dict[str, object]" = {}
+    if path.is_file():
+        try:
+            loaded = json.loads(path.read_text())
+        except ValueError:
+            loaded = None
+        if isinstance(loaded, dict) and isinstance(
+            loaded.get("metrics"), dict
+        ):
+            merged.update(loaded["metrics"])
+    for key, value in metrics.items():
+        merged[key] = (
+            float(value)
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+            else value
+        )
+    payload = {"name": name.upper(), "smoke": SMOKE, "metrics": merged}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -14,7 +14,10 @@ Gives the reproduction a zero-code entry point:
   (objectives + constraints, Pareto frontiers, adaptive refinement);
 - ``runtime`` — closed-loop execution of a workload trace through
   :mod:`repro.runtime` (flow control + thermal throttling; KPI summary
-  and CSV/JSON time series).
+  and CSV/JSON time series);
+- ``fleet``   — rack-scale multi-chip co-design through
+  :mod:`repro.fleet` (shared coolant supply split across a fleet under
+  a traffic schedule; fleet KPIs and per-chip CSV/JSON records).
 
 ``sweep --list`` and ``optimize --list`` print the available presets;
 ``repro --version`` prints the package version. Every command is a thin
@@ -328,6 +331,49 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.core.report import format_table
+    from repro.fleet import FleetEngine, FleetSpec
+    from repro.sweep import SweepCache, SweepRunner
+
+    spec = FleetSpec(
+        n_chips=args.chips,
+        policy=args.policy,
+        supply_per_chip_ml_min=args.supply,
+        trace=args.trace,
+        trace_seed=args.seed,
+        skew=args.skew,
+    )
+    runner = SweepRunner(
+        n_workers=args.jobs,
+        cache=SweepCache(directory=args.cache_dir),
+        backend=args.backend,
+    )
+    result = FleetEngine(spec, runner=runner).run()
+
+    print(
+        f"fleet — {spec.n_chips} chip(s), {spec.policy!r} allocation, "
+        f"{spec.supply().total_flow_ml_min:g} ml/min shared supply, "
+        f"'{spec.trace}' traffic (skew {spec.skew:g})\n"
+    )
+    print(format_table(
+        ["KPI", "value"],
+        [[name, value] for name, value in result.kpis().items()],
+    ))
+    print()
+    print(result.table())
+    stats = runner.cache.stats()
+    print(
+        f"\nchip table: {stats['misses']} evaluation(s), "
+        f"{stats['hits']} cache hit(s) ({runner.backend.name} backend)"
+    )
+    if args.csv:
+        print(f"per-chip CSV written to {result.save_csv(args.csv)}")
+    if args.json:
+        print(f"per-chip JSON written to {result.save_json(args.json)}")
+    return 0
+
+
 #: Simple artifact commands (no options of their own).
 _ARTIFACT_COMMANDS = {
     "summary": (_cmd_summary, "joint case-study evaluation vs the paper"),
@@ -493,6 +539,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the per-step time series as JSON",
     )
     runtime.set_defaults(handler=_cmd_runtime)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="rack-scale shared-supply fleet evaluation (see docs/fleet.md)",
+        description="Split one coolant supply across a fleet of chips "
+        "under a traffic schedule and report the fleet KPIs: net energy, "
+        "worst-chip junction temperature, throttling and fairness.",
+    )
+    # Policy and trace names are validated by the fleet layer at run
+    # time (caught in main), for the same startup-cost reason as above.
+    fleet.add_argument(
+        "--chips", type=int, default=8, metavar="N",
+        help="fleet size (default: 8)",
+    )
+    fleet.add_argument(
+        "--policy", default="greedy", metavar="NAME",
+        help="flow allocation policy: greedy, proportional or uniform "
+        "(default: greedy)",
+    )
+    fleet.add_argument(
+        "--supply", type=float, default=40.0, metavar="ML_MIN",
+        help="pump budget per chip [ml/min]; the shared supply is N "
+        "chips times this (default: 40)",
+    )
+    fleet.add_argument(
+        "--trace", default="diurnal-bursty", metavar="NAME",
+        help="traffic trace: step, ramp, square, bursty, diurnal or "
+        "diurnal-bursty (default: diurnal-bursty)",
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=7, metavar="N",
+        help="traffic seed: burst pattern and per-chip load-balancing "
+        "weights (default: 7)",
+    )
+    fleet.add_argument(
+        "--skew", type=float, default=0.35, metavar="S",
+        help="load-balancing skew; 0 spreads traffic evenly "
+        "(default: 0.35)",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool size for the chip-table build; 1 runs "
+        "in-process (default)",
+    )
+    fleet.add_argument(
+        "--backend", default=None, metavar="NAME",
+        choices=("serial", "process", "vectorized"),
+        help="chip-table evaluation backend: serial, process or "
+        "vectorized (default: derived from --jobs)",
+    )
+    fleet.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist chip-table points as JSON under DIR; a re-run "
+        "replays the fleet with no new evaluations",
+    )
+    fleet.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="export the per-chip records as CSV",
+    )
+    fleet.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="export the per-chip records as JSON",
+    )
+    fleet.set_defaults(handler=_cmd_fleet)
     return parser
 
 

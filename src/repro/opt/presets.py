@@ -23,6 +23,12 @@ answers the headline question of the paper with no further configuration:
   over the whole trajectory. Every candidate runs the full trace
   through the ``runtime`` evaluator, so tuned gains land in the same
   cache the runtime sweeps use.
+- ``fleet-allocation`` — rack-scale supply sizing: maximize fleet net
+  energy over allocation policy x per-chip pump budget, subject to the
+  85 C worst-chip junction limit over the whole traffic schedule. Every
+  candidate rolls an entire shared-supply fleet through the ``fleet``
+  evaluator; the chip tables memoize through the shared fleet runner,
+  so refinement rounds only pay for the fleet roll-ups.
 """
 
 from __future__ import annotations
@@ -174,6 +180,40 @@ PRESETS: "dict[str, OptimizationPreset]" = {
                 constraints=(
                     Constraint(
                         "peak_temperature_c", TEMPERATURE_LIMIT_C, "<="
+                    ),
+                ),
+            ),
+            max_rounds=2,
+            tolerance=0.1,
+        ),
+        OptimizationPreset(
+            name="fleet-allocation",
+            description="allocation policy x per-chip pump budget "
+            "maximizing fleet net energy under the 85 C worst-chip limit",
+            problem=OptimizationProblem(
+                base=ScenarioSpec(
+                    evaluator="fleet",
+                    trace="diurnal-bursty",
+                    nx=22,
+                    ny=11,
+                ),
+                axes=(
+                    CategoricalAxis(
+                        "fleet_policy",
+                        ("greedy", "proportional", "uniform"),
+                    ),
+                    # Budget axis inside the valve band (16..96 ml/min),
+                    # straddling the fleet optimum the bench pins down.
+                    ContinuousAxis(
+                        "supply_per_chip_ml_min", 32.0, 56.0, points=4
+                    ),
+                ),
+                objectives=(Objective("total_net_energy_j", "max"),),
+                constraints=(
+                    Constraint(
+                        "worst_peak_temperature_c",
+                        TEMPERATURE_LIMIT_C,
+                        "<=",
                     ),
                 ),
             ),

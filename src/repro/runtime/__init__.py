@@ -41,6 +41,7 @@ from repro.runtime.trace import (
     TraceSegment,
     WorkloadTrace,
     bursty_trace,
+    diurnal_bursty_trace,
     diurnal_trace,
     ramp_trace,
     square_trace,
@@ -64,6 +65,7 @@ __all__ = [
     "WorkloadTrace",
     "build_case_study_loop",
     "bursty_trace",
+    "diurnal_bursty_trace",
     "diurnal_trace",
     "ramp_trace",
     "square_trace",

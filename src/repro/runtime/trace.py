@@ -12,8 +12,10 @@ Synthetic generators cover the standard shapes a power-management study
 needs: ``step`` (the bench A14 scenario as a trace), ``ramp`` (staircase
 load growth), ``square`` (periodic batch duty cycle), ``bursty``
 (seeded random bursts over a base load — deterministic for a given seed,
-so traces memoize through the sweep cache), and ``diurnal`` (a sinusoidal
-day/night cycle compressed to the thermal time scale).
+so traces memoize through the sweep cache), ``diurnal`` (a sinusoidal
+day/night cycle compressed to the thermal time scale) and
+``diurnal-bursty`` (the diurnal envelope with seeded flash-crowd bursts —
+the fleet traffic model's default aggregate shape).
 
 Utilization factors live in the same ``[0, 1.5]`` range as
 :class:`~repro.casestudy.workloads.Workload` activity factors: ``1.0`` is
@@ -281,15 +283,57 @@ def diurnal_trace(
     return WorkloadTrace("diurnal", tuple(segments))
 
 
+def diurnal_bursty_trace(
+    utilization_min: float = 0.15,
+    utilization_max: float = 0.85,
+    burst_boost: float = 0.35,
+    burst_probability: float = 0.3,
+    period_s: float = 4.0,
+    n_segments: int = 16,
+    seed: int = 7,
+    workload: str = "full load",
+) -> WorkloadTrace:
+    """A diurnal envelope with seeded bursts riding on top.
+
+    The fleet traffic model's default aggregate shape: the day/night
+    sinusoid of :func:`diurnal_trace` carries the predictable demand
+    swing, while seeded random bursts (``random.Random(seed)``, so the
+    trace memoizes like ``bursty``) model flash crowds. Boosted segments
+    are clipped to ``MAX_UTILIZATION``.
+    """
+    if n_segments < 2:
+        raise ConfigurationError("a diurnal cycle needs at least two segments")
+    if not 0.0 <= burst_probability <= 1.0:
+        raise ConfigurationError(
+            f"burst probability must be in [0, 1], got {burst_probability}"
+        )
+    if burst_boost < 0.0:
+        raise ConfigurationError(f"burst boost must be >= 0, got {burst_boost}")
+    mid = 0.5 * (utilization_min + utilization_max)
+    amplitude = 0.5 * (utilization_max - utilization_min)
+    rng = random.Random(seed)
+    segments = []
+    for i in range(n_segments):
+        # Segment-centre phase, one full cycle starting at the trough
+        # (same discretisation as diurnal_trace).
+        phase = 2.0 * math.pi * (i + 0.5) / n_segments
+        utilization = mid - amplitude * math.cos(phase)
+        if rng.random() < burst_probability:
+            utilization = min(utilization + burst_boost, MAX_UTILIZATION)
+        segments.append(TraceSegment(period_s / n_segments, utilization, workload))
+    return WorkloadTrace("diurnal-bursty", tuple(segments))
+
+
 #: Named builders for the sweep/CLI layers: every entry is deterministic
 #: given (name, seed), which is exactly what ScenarioSpec memoization
-#: needs. Only ``bursty`` consumes the seed.
+#: needs. Only ``bursty`` and ``diurnal-bursty`` consume the seed.
 _TRACE_BUILDERS: "dict[str, Callable[[int], WorkloadTrace]]" = {
     "step": lambda seed: step_trace(),
     "ramp": lambda seed: ramp_trace(),
     "square": lambda seed: square_trace(),
     "bursty": lambda seed: bursty_trace(seed=seed),
     "diurnal": lambda seed: diurnal_trace(),
+    "diurnal-bursty": lambda seed: diurnal_bursty_trace(seed=seed),
 }
 
 #: Names accepted by :func:`standard_trace` (and the ``trace`` spec field).

@@ -18,6 +18,11 @@ the hand-rolled loops they replaced:
 - ``runtime`` — closed-loop execution of a named workload trace through
   :class:`~repro.runtime.engine.RuntimeEngine` (bench A16); energy,
   thermal and throttling KPIs of the whole trajectory.
+- ``fleet_chip`` — one fleet chip at one quantized (flow, utilization)
+  point: the cell of the fleet layer's operating-state table (bench A18).
+- ``fleet`` — a whole shared-supply fleet rolled through its traffic
+  schedule via :class:`~repro.fleet.fleet.FleetEngine`; rack-level
+  energy, thermal, throttling and fairness KPIs.
 
 The ``cosim`` and ``transient`` evaluators share the process-wide
 :class:`~repro.cosim.surface.PolarizationSurface` store, so sweeps that
@@ -444,6 +449,53 @@ def evaluate_runtime(spec: ScenarioSpec) -> "dict[str, float]":
         ),
     )
     return engine.run(trace).kpis()
+
+
+@register_evaluator("fleet_chip")
+def evaluate_fleet_chip(spec: ScenarioSpec) -> "dict[str, float]":
+    """One fleet chip at one quantized (flow, utilization) point.
+
+    The per-chip cell of the fleet layer's operating-state table: steady
+    peak temperature, temperature-dependent array generation through the
+    shared polarization surface (the coolant runs hotter at high load, so
+    generation tracks utilization), pumping cost and net power. See
+    :mod:`repro.fleet.chip`.
+    """
+    from repro.fleet.chip import chip_state_metrics
+
+    return chip_state_metrics(spec)
+
+
+@register_evaluator("fleet")
+def evaluate_fleet(spec: ScenarioSpec) -> "dict[str, float]":
+    """A whole shared-supply fleet rolled through its traffic schedule.
+
+    ``n_chips`` / ``fleet_policy`` / ``supply_per_chip_ml_min`` /
+    ``fleet_skew`` configure the rack; ``trace`` / ``trace_seed`` pick
+    the aggregate demand. The engine builds its chip table through the
+    process-wide :func:`repro.fleet.fleet.shared_fleet_runner` (always
+    the vectorized backend), so the ``fleet`` evaluator itself stays
+    bit-identical across sweep backends and scenarios sharing a supply
+    grid build the table once per process.
+    """
+    from repro.fleet import FleetEngine, FleetSpec
+    from repro.fleet.fleet import shared_fleet_runner
+
+    fleet_spec = FleetSpec(
+        n_chips=spec.n_chips,
+        policy=spec.fleet_policy,
+        supply_per_chip_ml_min=spec.supply_per_chip_ml_min,
+        trace=spec.trace,
+        trace_seed=spec.trace_seed,
+        skew=spec.fleet_skew,
+        inlet_temperature_k=spec.inlet_temperature_k,
+        operating_voltage_v=spec.operating_voltage_v,
+        pump_efficiency=spec.pump_efficiency,
+        nx=spec.nx,
+        ny=spec.ny,
+    )
+    engine = FleetEngine(fleet_spec, runner=shared_fleet_runner())
+    return engine.run().kpis()
 
 
 def workload_thermal_model(spec: ScenarioSpec):

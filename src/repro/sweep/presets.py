@@ -21,6 +21,10 @@ benchmarks run at a handful of points:
   workload trace x starting flow through the runtime engine (the bench
   A16 scenario family; net energy, throttling and peak-T KPIs per
   trajectory).
+- ``fleet``     — rack-scale shared-supply fleets: allocation policy x
+  per-chip pump budget through the fleet engine (the bench A18 scenario
+  family; fleet net energy, worst-chip peak, throttle and fairness KPIs
+  per fleet).
 """
 
 from __future__ import annotations
@@ -140,6 +144,19 @@ def _runtime_grid(points: int) -> SweepGrid:
     })
 
 
+def _fleet_grid(points: int) -> SweepGrid:
+    from repro.fleet.supply import POLICY_NAMES
+
+    # policy x per-chip budget; extra points densify the budget axis.
+    # The budget stays inside the feasible band of the default supply
+    # grid (16..96 ml/min in steps of 8), straddling the fleet optimum.
+    n_supplies = max(2, math.ceil(points / len(POLICY_NAMES)))
+    return SweepGrid.from_dict({
+        "fleet_policy": POLICY_NAMES,
+        "supply_per_chip_ml_min": _linspace(32.0, 56.0, n_supplies),
+    })
+
+
 PRESETS: "dict[str, SweepPreset]" = {
     preset.name: preset
     for preset in (
@@ -201,6 +218,20 @@ PRESETS: "dict[str, SweepPreset]" = {
             base=ScenarioSpec(evaluator="runtime", nx=22, ny=11),
             grid_builder=_runtime_grid,
             default_points=4,
+        ),
+        SweepPreset(
+            name="fleet",
+            description="rack-scale fleets: allocation policy x per-chip "
+            "pump budget",
+            # Reduced raster as the runtime preset uses; each point rolls
+            # a whole 8-chip fleet through its traffic schedule, but the
+            # chip tables memoize through the shared fleet runner, so the
+            # sweep pays for one table per supply grid.
+            base=ScenarioSpec(
+                evaluator="fleet", nx=22, ny=11, trace="diurnal-bursty",
+            ),
+            grid_builder=_fleet_grid,
+            default_points=6,
         ),
     )
 }

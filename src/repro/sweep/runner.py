@@ -68,6 +68,7 @@ class SweepCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, key: str) -> "Path | None":
         if self.directory is None:
@@ -92,6 +93,8 @@ class SweepCache:
                 if isinstance(loaded, dict):
                     metrics = loaded
                     self._memory[key] = metrics
+                else:
+                    self.corrupt += 1
         if metrics is None:
             self.misses += 1
             return None
@@ -112,6 +115,22 @@ class SweepCache:
             tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
             tmp.write_text(json.dumps(metrics, sort_keys=True) + "\n")
             os.replace(tmp, path)
+
+    def stats(self) -> "dict[str, int]":
+        """Hit-rate accounting since construction.
+
+        ``hits`` / ``misses`` count :meth:`get` outcomes (the runner
+        consults the cache once per unique spec, so in-run duplicates do
+        not inflate either); ``corrupt`` counts persisted files that
+        could not be read back (bad JSON, truncated write, wrong type)
+        and were treated as misses — a nonzero value means the cache
+        directory needs attention even though results stayed correct.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }
 
     def __len__(self) -> int:
         return len(self._memory)

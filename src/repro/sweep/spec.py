@@ -122,6 +122,10 @@ class ScenarioSpec:
     controller: str = "pid"
     pid_kp: float = 40.0
     pid_ki: float = 60.0
+    n_chips: int = 8
+    fleet_policy: str = "greedy"
+    supply_per_chip_ml_min: float = 40.0
+    fleet_skew: float = 0.35
     nx: int = 44
     ny: int = 22
     label: str = ""
@@ -133,9 +137,10 @@ class ScenarioSpec:
         "total_flow_ml_min", "inlet_temperature_k", "channel_width_um",
         "wall_width_um", "operating_voltage_v", "utilization",
         "utilization_before", "step_duration_s", "step_dt_s",
-        "pump_efficiency", "pid_kp", "pid_ki",
+        "pump_efficiency", "pid_kp", "pid_ki", "supply_per_chip_ml_min",
+        "fleet_skew",
     )
-    _INT_FIELDS = ("nx", "ny", "trace_seed")
+    _INT_FIELDS = ("nx", "ny", "trace_seed", "n_chips")
 
     def __post_init__(self) -> None:
         for name in self._FLOAT_FIELDS:
@@ -197,6 +202,19 @@ class ScenarioSpec:
         if self.trace not in TRACE_NAMES:
             raise ConfigurationError(
                 f"unknown trace {self.trace!r}; expected one of {TRACE_NAMES}"
+            )
+        if self.n_chips < 1:
+            raise ConfigurationError("n_chips must be >= 1")
+        if self.supply_per_chip_ml_min <= 0.0:
+            raise ConfigurationError("per-chip supply must be > 0 ml/min")
+        if self.fleet_skew < 0.0:
+            raise ConfigurationError("fleet skew must be >= 0")
+        from repro.fleet.supply import POLICY_NAMES
+
+        if self.fleet_policy not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown allocation policy {self.fleet_policy!r}; "
+                f"expected one of {POLICY_NAMES}"
             )
 
     @classmethod

@@ -330,6 +330,23 @@ def batch_runtime(
     return [evaluate_spec(spec) for spec in specs]
 
 
+def batch_fleet_chip(
+    specs: "Sequence[ScenarioSpec]",
+) -> "list[dict[str, float]]":
+    """Batched ``fleet_chip``: stacked utilization columns per flow level.
+
+    Delegates to :func:`repro.fleet.chip.batch_chip_states`, which draws
+    one store-backed thermal model per quantized flow (shared with the
+    runtime layer) and solves utilization variants as stacked RHS columns
+    through one anchored factorization. The ``fleet`` evaluator itself
+    deliberately has *no* kernel: it runs its chips through this one
+    internally and must stay bit-identical across sweep backends.
+    """
+    from repro.fleet.chip import batch_chip_states
+
+    return batch_chip_states(specs)
+
+
 #: Evaluator families with a batch kernel. Everything else falls back to
 #: the scalar path inside the vectorized backend.
 BATCH_KERNELS: "Dict[str, BatchKernel]" = {
@@ -338,4 +355,5 @@ BATCH_KERNELS: "Dict[str, BatchKernel]" = {
     "vrm": batch_vrm,
     "workload": batch_workload,
     "runtime": batch_runtime,
+    "fleet_chip": batch_fleet_chip,
 }

@@ -1,0 +1,103 @@
+"""Fleet engine regressions: the 8-chip golden rack and backend equivalence.
+
+The default :class:`~repro.fleet.fleet.FleetSpec` — 8 chips, greedy
+allocation, 40 ml/min per-chip budget, the seeded diurnal-bursty trace —
+is the configuration the ``repro fleet`` CLI, the ``fleet`` sweep preset
+and bench A18 all build on. This module pins its KPIs to six significant
+figures inside tier-1, so a drift in the chip table physics, the
+allocation policies or the rollup arithmetic surfaces in ``pytest -x -q``
+long before a bench runs.
+
+The equivalence class then asserts the backend contract at fleet scale:
+a chip table built by the :class:`~repro.sweep.backends.SerialBackend`
+and one built by the vectorized backend drive the rollup to the same
+fleet result within the documented
+:data:`~repro.sweep.vectorized.EQUIVALENCE_RTOL`.
+
+These are regression pins, not physics assertions — move the goldens
+only with a deliberate recalibration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetEngine, FleetSpec
+from repro.sweep import SweepRunner
+from repro.sweep.vectorized import EQUIVALENCE_RTOL
+
+#: Default-rack KPIs on the 22x11 raster, pinned to 6 significant
+#: figures (values as printed by ``repro fleet`` with no flags).
+GOLDEN_KPIS = {
+    "n_chips": 8.0,
+    "duration_s": 4.0,
+    "total_supply_ml_min": 320.0,
+    "total_net_energy_j": 269.583,
+    "total_generated_energy_j": 270.190,
+    "total_pumping_energy_j": 0.607533,
+    "worst_peak_temperature_c": 83.8799,
+    "throttled_chip_time_fraction": 0.109375,
+    "shed_load_fraction": 0.0218069,
+    "allocation_fairness": 0.829032,
+    "supply_uniformity": 0.406047,
+    "mean_flow_ml_min": 40.0,
+    "mean_utilization": 0.626953,
+    "mean_served_utilization": 0.613281,
+}
+
+
+@pytest.fixture(scope="module")
+def vectorized_result():
+    """The default rack, rolled once for the whole module."""
+    engine = FleetEngine(FleetSpec(), runner=SweepRunner(backend="vectorized"))
+    return engine.run()
+
+
+class TestDefaultRackGoldens:
+    def test_kpis_pinned_to_six_sig_figs(self, vectorized_result):
+        kpis = vectorized_result.kpis()
+        assert set(kpis) == set(GOLDEN_KPIS)
+        for name, golden in GOLDEN_KPIS.items():
+            # rel=5e-6 is half a unit in the sixth significant figure
+            # at mantissa 1 — exactly the pinning precision.
+            assert kpis[name] == pytest.approx(golden, rel=5e-6), name
+
+    def test_kpis_are_plain_floats(self, vectorized_result):
+        """Exports and JSON round-trips rely on builtin scalars, not
+        numpy types leaking out of the rollup."""
+        for name, value in vectorized_result.kpis().items():
+            assert type(value) is float, name
+
+    def test_greedy_throttles_but_sheds_little(self, vectorized_result):
+        """The qualitative shape behind the goldens: the constrained
+        budget throttles ~11% of chip-time yet sheds only ~2% of load,
+        while every junction stays inside the 85 degC limit."""
+        result = vectorized_result
+        assert 0.0 < result.throttled_chip_time_fraction < 0.2
+        assert 0.0 < result.kpis()["shed_load_fraction"] < 0.05
+        assert result.worst_peak_temperature_c <= 85.0
+
+
+class TestBackendEquivalence:
+    def test_serial_table_matches_vectorized(self, vectorized_result):
+        """The rollup is a pure function of the chip table; the table is
+        backend-independent within the vectorized tolerance."""
+        serial = FleetEngine(
+            FleetSpec(), runner=SweepRunner(backend="serial")
+        ).run()
+
+        for name, value in vectorized_result.kpis().items():
+            assert serial.kpis()[name] == pytest.approx(
+                value, rel=EQUIVALENCE_RTOL, abs=1e-9
+            ), name
+        for attr in (
+            "chip_mean_flow_ml_min",
+            "chip_net_energy_j",
+            "chip_peak_temperature_c",
+            "chip_throttled_time_fraction",
+        ):
+            np.testing.assert_allclose(
+                getattr(serial, attr),
+                getattr(vectorized_result, attr),
+                rtol=EQUIVALENCE_RTOL,
+                err_msg=attr,
+            )

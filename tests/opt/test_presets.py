@@ -17,8 +17,8 @@ from repro.sweep.evaluators import evaluator_names
 class TestRegistry:
     def test_names_sorted_and_complete(self):
         assert preset_names() == (
-            "flow-optimum", "geometry-pareto", "runtime-pid",
-            "vrm-tradeoff"
+            "fleet-allocation", "flow-optimum", "geometry-pareto",
+            "runtime-pid", "vrm-tradeoff"
         )
         assert set(preset_names()) == set(PRESETS)
 

@@ -9,6 +9,7 @@ from repro.runtime.trace import (
     TraceSegment,
     WorkloadTrace,
     bursty_trace,
+    diurnal_bursty_trace,
     diurnal_trace,
     ramp_trace,
     square_trace,
@@ -156,8 +157,36 @@ class TestGenerators:
         assert max(utils) > 0.9
         assert all(0.2 <= u <= 1.0 for u in utils)
 
+    def test_diurnal_bursty_rides_the_diurnal_envelope(self):
+        """Bursts only ever *add* load on top of the plain diurnal
+        cycle, clipped to the utilization ceiling."""
+        base = diurnal_trace(0.15, 0.85, n_segments=16)
+        busy = diurnal_bursty_trace(seed=3)
+        assert len(busy.segments) == len(base.segments)
+        for quiet, burst in zip(base.segments, busy.segments):
+            assert quiet.utilization <= burst.utilization <= MAX_UTILIZATION
+        # The seed must fire at least one burst somewhere.
+        assert any(
+            burst.utilization > quiet.utilization
+            for quiet, burst in zip(base.segments, busy.segments)
+        )
+
+    def test_diurnal_bursty_deterministic_per_seed(self):
+        assert diurnal_bursty_trace(seed=3) == diurnal_bursty_trace(seed=3)
+        assert diurnal_bursty_trace(seed=3) != diurnal_bursty_trace(seed=4)
+
+    def test_diurnal_bursty_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_bursty_trace(burst_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            diurnal_bursty_trace(burst_boost=-0.1)
+        with pytest.raises(ConfigurationError):
+            diurnal_bursty_trace(n_segments=1)
+
     def test_standard_trace_registry(self):
-        assert TRACE_NAMES == ("bursty", "diurnal", "ramp", "square", "step")
+        assert TRACE_NAMES == (
+            "bursty", "diurnal", "diurnal-bursty", "ramp", "square", "step"
+        )
         for name in TRACE_NAMES:
             assert standard_trace(name).segments
         with pytest.raises(ConfigurationError, match="bursty"):
@@ -165,6 +194,7 @@ class TestGenerators:
 
     def test_standard_trace_seed_only_moves_bursty(self):
         assert standard_trace("step", seed=1) == standard_trace("step", seed=2)
-        assert standard_trace("bursty", seed=1) != standard_trace(
-            "bursty", seed=2
-        )
+        for name in ("bursty", "diurnal-bursty"):
+            assert standard_trace(name, seed=1) != standard_trace(
+                name, seed=2
+            )

@@ -11,8 +11,8 @@ from repro.sweep import get_preset, preset_names
 class TestPresets:
     def test_known_presets(self):
         assert preset_names() == (
-            "cosim", "flow", "geometry", "runtime", "transient", "vrm",
-            "workloads"
+            "cosim", "fleet", "flow", "geometry", "runtime", "transient",
+            "vrm", "workloads"
         )
 
     def test_unknown_preset_raises(self):
@@ -27,6 +27,7 @@ class TestPresets:
         ("cosim", "cosim"),
         ("transient", "transient"),
         ("runtime", "runtime"),
+        ("fleet", "fleet"),
     ])
     def test_preset_targets_its_evaluator(self, name, evaluator):
         preset = get_preset(name)

@@ -134,6 +134,46 @@ class TestMemoization:
         assert cache.get(spec.cache_key()) is None
 
 
+class TestCacheStats:
+    def test_fresh_cache_reports_zero_everything(self):
+        assert SweepCache().stats() == {"hits": 0, "misses": 0, "corrupt": 0}
+
+    def test_stats_track_hits_and_misses(self):
+        runner = SweepRunner()
+        runner.run(cheap_specs(48.0, 676.0))
+        runner.run(cheap_specs(48.0, 676.0))
+        assert runner.cache.stats() == {"hits": 2, "misses": 2, "corrupt": 0}
+
+    def test_corrupt_files_counted_and_repaired(self, tmp_path):
+        """A truncated persisted entry counts as both a miss and a
+        corrupt read; the re-evaluation replaces it atomically, so the
+        next cold cache reads it clean."""
+        spec = cheap_specs(48.0)[0]
+        (tmp_path / f"{spec.cache_key()}.json").write_text('{"double_fl')
+        cache = SweepCache(directory=tmp_path)
+        SweepRunner(cache=cache).run([spec])
+        assert cache.stats() == {"hits": 0, "misses": 1, "corrupt": 1}
+
+        repaired = SweepCache(directory=tmp_path)
+        SweepRunner(cache=repaired).run([spec])
+        assert repaired.stats() == {"hits": 1, "misses": 0, "corrupt": 0}
+
+    def test_non_dict_payload_counts_as_corrupt(self, tmp_path):
+        """Valid JSON of the wrong shape is corruption too — stats()
+        must not hide it as a plain miss."""
+        spec = cheap_specs(676.0)[0]
+        (tmp_path / f"{spec.cache_key()}.json").write_text("[1, 2, 3]\n")
+        cache = SweepCache(directory=tmp_path)
+        assert cache.get(spec.cache_key()) is None
+        assert cache.stats() == {"hits": 0, "misses": 1, "corrupt": 1}
+
+    def test_memory_only_cache_never_sees_corruption(self):
+        runner = SweepRunner()
+        runner.run(cheap_specs(48.0))
+        runner.run(cheap_specs(48.0))
+        assert runner.cache.stats()["corrupt"] == 0
+
+
 class TestParallel:
     def test_parallel_matches_serial_bit_for_bit(self):
         # Real evaluator: workers re-import repro.sweep.evaluators, so the
