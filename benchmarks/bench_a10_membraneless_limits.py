@@ -7,7 +7,6 @@ range: Reynolds number, inter-stream mixing-zone width and the reactant
 crossover fraction — the three numbers that bound membraneless viability.
 """
 
-import pytest
 
 from benchmarks.conftest import artifact, emit
 from repro.casestudy.validation_cell import build_validation_spec

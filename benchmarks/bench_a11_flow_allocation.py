@@ -14,7 +14,6 @@ benefit at the same *total* flow:
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import artifact, emit
 from repro.casestudy.power7plus import (

@@ -7,8 +7,6 @@ efficiency against the operating current, including the physically
 expected refusal of a fully charged cell to accept fast charge.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import artifact, emit
 from repro.casestudy.power7plus import build_array_cell

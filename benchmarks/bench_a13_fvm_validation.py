@@ -18,7 +18,6 @@ The transverse grid is scaled with flow rate so the concentration boundary
 layer (delta ~ Q^(-1/3)) stays resolved.
 """
 
-import pytest
 
 from benchmarks.conftest import artifact, emit
 from repro.casestudy.validation_cell import build_validation_cell, build_validation_spec

@@ -11,7 +11,6 @@ lives in the ``geometry`` evaluator. Pumping is accounted at the paper's
 50 % pump efficiency, so the 200 um column reproduces the 4.4 W figure.
 """
 
-import pytest
 
 from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table

@@ -7,7 +7,6 @@ delivered cache power, converter area and whether the 5 W cache demand
 survives the conversion loss.
 """
 
-import pytest
 
 from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table

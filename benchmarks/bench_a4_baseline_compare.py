@@ -5,10 +5,8 @@ air-cooled, c4-bump-powered MPSoC on peak temperature, sustainable
 utilization (bright vs dark silicon) and I/O connectivity.
 """
 
-import pytest
 
 from benchmarks.conftest import artifact, emit
-from repro.core.baselines import ConventionalBaseline
 from repro.core.report import format_table
 from repro.core.system import IntegratedPowerCoolingSystem
 

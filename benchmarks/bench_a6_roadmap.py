@@ -6,7 +6,6 @@ This bench computes the actual gap for the case study and the feasibility
 frontier over improvement-factor pairs.
 """
 
-import pytest
 
 from benchmarks.conftest import artifact, emit
 from repro.core.report import format_table

@@ -12,7 +12,6 @@ flow axis to the same study): the scenario thermal solve lives in the
 ``workload`` evaluator.
 """
 
-import pytest
 
 from benchmarks.conftest import artifact, emit
 from repro.casestudy.workloads import WORKLOAD_NAMES

@@ -12,7 +12,6 @@ from repro.casestudy.power7plus import (
     build_thermal_stack,
     full_load_power_densities,
     full_load_power_map,
-    Power7CaseStudy,
 )
 from repro.casestudy.validation_cell import build_validation_spec
 from repro.geometry.floorplan import BlockKind

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
 import pytest
 from hypothesis import settings as hypothesis_settings
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.system import IntegratedPowerCoolingSystem, SystemEvaluation
+from repro.core.system import IntegratedPowerCoolingSystem
 from repro.pdn.vrm import SwitchedCapacitorVRM
 
 

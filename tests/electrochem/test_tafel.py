@@ -5,7 +5,7 @@ import pytest
 
 from repro.constants import FARADAY, GAS_CONSTANT
 from repro.electrochem.butler_volmer import current_density
-from repro.electrochem.tafel import TafelFit, fit_tafel, theoretical_tafel_slope
+from repro.electrochem.tafel import fit_tafel, theoretical_tafel_slope
 from repro.errors import ConfigurationError
 from repro.materials.species import RedoxCouple, vanadium_negative_couple
 

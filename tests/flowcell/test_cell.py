@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.flowcell.cell import (
-    ColaminarCellSpec,
-    ElectrodeCharacteristic,
-    assemble_polarization,
-)
+from repro.flowcell.cell import ElectrodeCharacteristic, assemble_polarization
 
 
 class TestColaminarCellSpec:

@@ -1,6 +1,5 @@
 """Tests for crossover quantification in the FV solver."""
 
-import pytest
 
 from repro.casestudy.validation_cell import build_validation_spec
 from repro.flowcell.fvm import FiniteVolumeColaminarCell

@@ -1,6 +1,5 @@
 """Tests for the quasi-2D finite-volume cell solver."""
 
-import numpy as np
 import pytest
 
 from repro.casestudy.validation_cell import build_validation_spec

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.casestudy.power7plus import build_array_cell, build_array_spec
+from repro.casestudy.power7plus import build_array_cell
 from repro.constants import FARADAY
 from repro.errors import ConfigurationError
-from repro.flowcell.porous import FlowThroughPorousCell, PorousElectrodeSpec
+from repro.flowcell.porous import PorousElectrodeSpec
 
 
 class TestElectrodeSpec:

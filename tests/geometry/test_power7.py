@@ -4,8 +4,6 @@ import pytest
 
 from repro.geometry.floorplan import BlockKind
 from repro.geometry.power7 import (
-    POWER7_LENGTH_MM,
-    POWER7_WIDTH_MM,
     build_power7_floorplan,
     full_load_power_densities,
 )

@@ -4,7 +4,6 @@ These are the DESIGN.md Section 6 acceptance criteria in executable form;
 each test cites the artifact it reproduces.
 """
 
-import numpy as np
 import pytest
 
 from repro.electrochem.polarization import PolarizationCurve

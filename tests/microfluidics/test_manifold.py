@@ -9,7 +9,6 @@ from repro.geometry.array import ChannelArray
 from repro.geometry.channel import RectangularChannel
 from repro.materials.fluid import vanadium_electrolyte_fluid
 from repro.microfluidics.manifold import (
-    FlowDistribution,
     ManifoldDesign,
     header_width_for_uniformity,
     solve_flow_distribution,

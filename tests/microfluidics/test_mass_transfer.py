@@ -1,6 +1,5 @@
 """Tests for mass-transfer models (Leveque and porous)."""
 
-import math
 
 import pytest
 

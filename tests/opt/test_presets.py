@@ -3,13 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.opt import (
-    ContinuousAxis,
-    OptimizationPreset,
-    Optimizer,
-    get_preset,
-    preset_names,
-)
+from repro.opt import ContinuousAxis, Optimizer, get_preset, preset_names
 from repro.opt.presets import PRESETS
 from repro.sweep.evaluators import evaluator_names
 

@@ -1,11 +1,10 @@
 """Property-based tests for the electrochemical core (hypothesis)."""
 
-import math
 
 from hypothesis import given, settings, strategies as st
 import pytest
 
-from repro.constants import FARADAY, GAS_CONSTANT
+from repro.constants import FARADAY
 from repro.electrochem.butler_volmer import (
     current_density,
     exchange_current_density,

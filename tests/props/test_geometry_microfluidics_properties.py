@@ -1,6 +1,5 @@
 """Property-based tests for geometry and microfluidic relations."""
 
-import math
 
 from hypothesis import given, settings, strategies as st
 import pytest

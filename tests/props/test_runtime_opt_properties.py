@@ -11,7 +11,6 @@ exercise only at a handful of points:
 """
 
 from hypothesis import given, settings, strategies as st
-import pytest
 
 from repro.flowcell.recirculation import ElectrolyteReservoir, RecirculationLoop
 from repro.opt.objective import Objective

@@ -5,7 +5,6 @@ solver, reservoir bookkeeping and workload power maps.
 """
 
 from hypothesis import given, settings, strategies as st
-import numpy as np
 import pytest
 
 from repro.casestudy.power7plus import build_array_spec

@@ -1,6 +1,5 @@
 """Tests for repro.constants and repro.units."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ paths).
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -6,7 +6,6 @@ import pytest
 from repro.casestudy.power7plus import (
     build_array_fluid,
     build_array_layout,
-    build_thermal_stack,
     full_load_power_map,
 )
 from repro.errors import ConfigurationError

@@ -3,12 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.casestudy.power7plus import build_thermal_model, build_thermal_stack
+from repro.casestudy.power7plus import build_thermal_stack
 from repro.errors import ConfigurationError
 from repro.geometry.array import ChannelArray
 from repro.geometry.channel import RectangularChannel
 from repro.materials.fluid import vanadium_electrolyte_fluid
-from repro.materials.solids import SILICON
 from repro.thermal.model import ThermalModel
 from repro.thermal.stack import LayerStack, MicrochannelLayer, SolidLayer
 
