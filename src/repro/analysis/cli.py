@@ -1,0 +1,129 @@
+"""Entry point: ``repro lint`` / ``python -m repro.analysis``.
+
+Exit codes follow compiler convention: 0 clean (or fully ratcheted),
+1 findings (or a ratchet regression), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.core import lint_paths
+from repro.analysis.ratchet import Ratchet
+from repro.analysis.report import json_report, rules_table, text_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Custom AST lint: determinism (RPL1xx), unit "
+        "suffixes (RPL2xx), spec/evaluator contracts (RPL3xx), hygiene "
+        "(RPL4xx). See docs/static-analysis.md for the catalog.",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared between the
+    standalone ``python -m repro.analysis`` parser and the ``repro
+    lint`` subcommand)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"], metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--ratchet", default=None, metavar="FILE",
+        help="accepted-legacy-findings file; the run fails only on "
+        "findings beyond its per-file, per-rule counts",
+    )
+    parser.add_argument(
+        "--update-ratchet", action="store_true",
+        help="rewrite --ratchet FILE to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-contracts", action="store_true",
+        help="skip the whole-project RPL3xx contract checks",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes/prefixes to keep "
+        "(e.g. RPL1,RPL305)",
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    return run(parser.parse_args(argv))
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.rules:
+        print(rules_table())
+        return 0
+    if args.update_ratchet and not args.ratchet:
+        print(
+            "repro lint: error: --update-ratchet requires --ratchet FILE",
+            file=sys.stderr,
+        )
+        return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro lint: error: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = lint_paths(args.paths, contracts=not args.no_contracts)
+    if args.select:
+        prefixes = tuple(
+            token.strip().upper() for token in args.select.split(",")
+            if token.strip()
+        )
+        findings = [f for f in findings if f.code.startswith(prefixes)]
+
+    if args.update_ratchet:
+        Ratchet.from_findings(findings).save(args.ratchet)
+        print(
+            f"ratchet updated: {len(findings)} finding(s) accepted in "
+            f"{args.ratchet}"
+        )
+        return 0
+
+    if args.ratchet:
+        outcome = Ratchet.load(args.ratchet).compare(findings)
+        shown = outcome.new
+        if args.format == "json":
+            print(json_report(shown))
+        else:
+            print(text_report(shown))
+            for key, (current, allowance) in outcome.improved.items():
+                print(
+                    f"note: {key} improved to {current} (ratchet allows "
+                    f"{allowance}); tighten with --update-ratchet"
+                )
+            for key in outcome.stale:
+                print(
+                    f"note: ratchet entry {key} is clean now; tighten "
+                    "with --update-ratchet"
+                )
+        return 0 if outcome.ok else 1
+
+    if args.format == "json":
+        print(json_report(findings))
+    else:
+        print(text_report(findings))
+    return 1 if findings else 0

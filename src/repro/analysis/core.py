@@ -1,0 +1,232 @@
+"""Shared linting infrastructure: findings, rules, suppressions, drivers.
+
+A *rule* is a stable ``RPL###`` code registered in :data:`RULES`; a
+*checker* is an :class:`ast.NodeVisitor` subclass that reports findings
+against one parsed module. :func:`lint_source` runs the per-file
+checkers over one module's source; :func:`lint_paths` walks directories
+in sorted order (the linter practices the determinism it preaches) and
+adds the whole-project contract checks on top.
+
+Suppressions are explicit and narrow, mirroring ``noqa`` but with the
+project's own marker so they cannot collide with other tools:
+
+- ``# repro-lint: disable=RPL104`` on the offending line silences the
+  listed code(s) (comma-separated) for that line only;
+- ``# repro-lint: disable=all`` silences every rule on that line;
+- ``# repro-lint: disable-file=RPL203`` anywhere in a file silences the
+  listed code(s) for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+#: Rule catalog: code -> one-line summary. Checkers register themselves
+#: at import time; ``repro lint --rules`` prints this table and the
+#: docs' rule catalog is tested against it.
+RULES: "dict[str, str]" = {}
+
+
+def register_rule(code: str, summary: str) -> str:
+    """Register a rule code; returns the code for assignment convenience."""
+    if not re.fullmatch(r"RPL\d{3}", code):
+        raise ValueError(f"rule codes look like RPL###, got {code!r}")
+    if code in RULES:
+        raise ValueError(f"rule {code} registered twice")
+    RULES[code] = summary
+    return code
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def key(self) -> str:
+        """Ratchet bucket: per-file, per-rule (line numbers drift)."""
+        return f"{self.path}:{self.code}"
+
+
+#: ``# repro-lint: disable=RPL101,RPL102`` (or ``disable-file=``).
+_SUPPRESS = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Parsed suppression comments of one module."""
+
+    by_line: "dict[int, frozenset[str]]"
+    whole_file: "frozenset[str]"
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        by_line: "dict[int, frozenset[str]]" = {}
+        whole_file: "set[str]" = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS.search(line)
+            if match is None:
+                continue
+            codes = frozenset(
+                token.strip().upper()
+                for token in match.group(2).split(",")
+                if token.strip()
+            )
+            if match.group(1) == "disable-file":
+                whole_file |= codes
+            else:
+                by_line[lineno] = by_line.get(lineno, frozenset()) | codes
+        return cls(by_line, frozenset(whole_file))
+
+    def hides(self, finding: Finding) -> bool:
+        codes = self.by_line.get(finding.line, frozenset())
+        for active in (codes, self.whole_file):
+            if finding.code in active or "ALL" in active:
+                return True
+        return False
+
+
+class Checker(ast.NodeVisitor):
+    """Base per-file checker: parent links plus a ``report`` helper.
+
+    Subclasses implement ``visit_*`` methods and call :meth:`report`;
+    :func:`lint_source` collects ``self.findings`` afterwards.
+    """
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.findings: "list[Finding]" = []
+        self._parents: "dict[int, ast.AST]" = {}
+
+    def run(self, tree: ast.AST) -> "list[Finding]":
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        self.visit(tree)
+        return self.findings
+
+    def parent(self, node: ast.AST) -> "ast.AST | None":
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> "Iterable[ast.AST]":
+        seen = self.parent(node)
+        while seen is not None:
+            yield seen
+            seen = self.parent(seen)
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        if code not in RULES:
+            raise ValueError(f"unregistered rule code {code!r}")
+        self.findings.append(Finding(
+            self.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            code,
+            message,
+        ))
+
+
+CheckerFactory = Callable[[str, str], Checker]
+
+
+def default_checkers() -> "list[CheckerFactory]":
+    """The per-file checkers, in rule-code order."""
+    from repro.analysis.determinism import DeterminismChecker
+    from repro.analysis.hygiene import HygieneChecker
+    from repro.analysis.units import UnitsChecker
+
+    return [DeterminismChecker, UnitsChecker, HygieneChecker]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    checkers: "Sequence[CheckerFactory] | None" = None,
+) -> "list[Finding]":
+    """Run the per-file checkers over one module's source.
+
+    Findings are sorted by location then code; suppressed findings are
+    dropped. A module with a syntax error yields a single RPL000-style
+    parse finding rather than crashing the whole run.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(
+            path, error.lineno or 1, (error.offset or 0) or 1,
+            "RPL999", f"file does not parse: {error.msg}",
+        )]
+    suppressions = Suppressions.scan(source)
+    findings: "list[Finding]" = []
+    for factory in checkers if checkers is not None else default_checkers():
+        findings.extend(factory(path, source).run(tree))
+    return sorted(f for f in findings if not suppressions.hides(f))
+
+
+#: Reserved parse-failure pseudo-rule (not suppressible by design).
+register_rule("RPL999", "file does not parse")
+
+
+def lint_file(
+    path: "str | Path",
+    root: "Path | None" = None,
+    checkers: "Sequence[CheckerFactory] | None" = None,
+) -> "list[Finding]":
+    """Lint one file; finding paths are relative to ``root`` if given."""
+    path = Path(path)
+    shown = path.relative_to(root) if root is not None else path
+    return lint_source(path.read_text(), shown.as_posix(), checkers)
+
+
+def iter_python_files(paths: "Sequence[str | Path]") -> "list[Path]":
+    """Every ``*.py`` under the given files/directories, sorted, deduped."""
+    files: "set[Path]" = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(
+    paths: "Sequence[str | Path]",
+    root: "Path | None" = None,
+    contracts: bool = True,
+    checkers: "Sequence[CheckerFactory] | None" = None,
+) -> "list[Finding]":
+    """Lint files/directories; adds project contract checks when the
+    linted set contains the ``repro`` package (``sweep/spec.py`` present
+    under one of the roots)."""
+    root = Path.cwd() if root is None else root
+    findings: "list[Finding]" = []
+    files = iter_python_files(paths)
+    for path in files:
+        shown = path
+        try:
+            shown = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+        findings.extend(lint_source(path.read_text(), shown.as_posix(), checkers))
+    if contracts:
+        from repro.analysis.contracts import contract_findings, find_package_root
+
+        package = find_package_root(paths)
+        if package is not None:
+            findings.extend(contract_findings(package, root))
+    return sorted(findings)

@@ -1,0 +1,85 @@
+"""Hygiene rules (RPL4xx): the pyflakes-shaped subset the repo gates on
+even where ruff is not installed (the CI lint job runs ruff too; this
+keeps the signal available offline and inside ``repro lint``).
+
+- **RPL401** — a module-level import nothing in the module references.
+  ``__init__.py`` files are exempt (imports there are re-exports), as
+  are ``__future__`` imports, underscore-prefixed bindings, and names
+  listed in a literal ``__all__``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, register_rule
+
+RPL401 = register_rule("RPL401", "module-level import is never used")
+
+
+class HygieneChecker(Checker):
+    """RPL401 over one module."""
+
+    def run(self, tree: ast.AST) -> "list":
+        if self.path.endswith("__init__.py"):
+            return self.findings
+        imported: "dict[str, tuple[ast.AST, str]]" = {}
+        for node in getattr(tree, "body", []):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    imported[bound] = (node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    imported[bound] = (node, alias.name)
+
+        used: "set[str]" = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    used.add(root.id)
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                # Names in __all__ and "quoted" annotations count: the
+                # whole string is scanned for identifier-shaped matches.
+                for token in _identifiers(node.value):
+                    used.add(token)
+
+        for bound, (node, module) in sorted(imported.items()):
+            if bound.startswith("_") or bound in used:
+                continue
+            self.report(
+                node, RPL401,
+                f"imported name {bound!r} ({module}) is never used",
+            )
+        return self.findings
+
+
+def _identifiers(text: str) -> "list[str]":
+    """Identifier-shaped tokens of a short string (annotations, __all__
+    entries); long strings (docstrings) are skipped for speed."""
+    if len(text) > 200:
+        return []
+    out: "list[str]" = []
+    token = ""
+    for char in text:
+        if char.isalnum() or char == "_":
+            token += char
+        else:
+            if token:
+                out.append(token)
+            token = ""
+    if token:
+        out.append(token)
+    return out

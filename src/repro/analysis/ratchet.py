@@ -1,0 +1,88 @@
+"""Fail-on-new-findings ratchet.
+
+The lint suite lands on a codebase with history; some findings are
+accepted as legacy (a public API whose parameter names cannot change
+compatibly, say) without being endorsed. The ratchet file records those
+as ``{"<path>:<code>": count}``; a run *fails* when any bucket exceeds
+its recorded count (new findings) and *reports* when a bucket shrank
+(so the file can be tightened — it shrinks, it never grows). An empty
+or missing ratchet means every finding fails, which is the steady state
+this repo holds.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.core import Finding
+
+
+@dataclass
+class RatchetOutcome:
+    """What comparing findings against a ratchet concluded."""
+
+    #: Findings in buckets over their allowance (fail the run).
+    new: "list[Finding]"
+    #: Buckets whose current count undercuts the allowance (tighten).
+    improved: "dict[str, tuple[int, int]]"
+    #: Buckets in the file with no findings at all (stale entries).
+    stale: "list[str]"
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+class Ratchet:
+    """The accepted-legacy-findings ledger."""
+
+    def __init__(self, allowed: "dict[str, int] | None" = None) -> None:
+        self.allowed = dict(allowed or {})
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Ratchet":
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict):
+            raise ValueError(f"ratchet file {path} must hold an object")
+        return cls({str(key): int(value) for key, value in data.items()})
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(
+            dict(sorted(self.allowed.items())), indent=2, sort_keys=True
+        ) + "\n")
+        return path
+
+    @classmethod
+    def from_findings(cls, findings: "Sequence[Finding]") -> "Ratchet":
+        return cls(dict(Counter(f.key() for f in findings)))
+
+    def compare(self, findings: "Sequence[Finding]") -> RatchetOutcome:
+        counts = Counter(f.key() for f in findings)
+        new: "list[Finding]" = []
+        for key in sorted(counts):
+            allowance = self.allowed.get(key, 0)
+            if counts[key] > allowance:
+                over = counts[key] - allowance
+                # The *last* findings in the bucket are reported as new:
+                # with sorted findings that is the highest line numbers,
+                # which is where fresh code lands more often than not.
+                bucket = [f for f in findings if f.key() == key]
+                new.extend(bucket[-over:])
+        improved = {
+            key: (counts.get(key, 0), allowance)
+            for key, allowance in sorted(self.allowed.items())
+            if 0 < counts.get(key, 0) < allowance
+        }
+        stale = [
+            key for key in sorted(self.allowed)
+            if key not in counts
+        ]
+        return RatchetOutcome(new=new, improved=improved, stale=stale)

@@ -1,0 +1,52 @@
+"""Reporters: findings as text (``file:line:col: CODE message``) or as a
+JSON document tools can diff and dashboards can ingest."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.core import RULES, Finding
+
+
+def text_report(findings: "Sequence[Finding]") -> str:
+    """One line per finding plus a per-rule summary footer."""
+    lines = [finding.format() for finding in findings]
+    if findings:
+        by_code = Counter(finding.code for finding in findings)
+        summary = ", ".join(
+            f"{code} x{count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(f"{len(findings)} finding(s): {summary}")
+    else:
+        lines.append("0 findings")
+    return "\n".join(lines)
+
+
+def json_report(findings: "Sequence[Finding]") -> str:
+    """Findings as a sorted, byte-stable JSON document."""
+    return json.dumps(
+        {
+            "findings": [
+                {
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "code": finding.code,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ],
+            "counts": dict(Counter(f.code for f in findings)),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def rules_table() -> str:
+    """The rule catalog, one ``CODE  summary`` line per rule."""
+    return "\n".join(
+        f"{code}  {summary}" for code, summary in sorted(RULES.items())
+    )

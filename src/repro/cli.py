@@ -414,7 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "preset", nargs="?", default=None,
         help="which design study to run: flow, geometry, vrm, "
-        "workloads, cosim or transient (see --list)",
+        "workloads, cosim, transient, runtime or fleet (see --list)",
     )
     sweep.add_argument(
         "--list", action="store_true",
@@ -458,7 +458,8 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "preset", nargs="?", default=None,
         help="which design question to answer: flow-optimum, "
-        "geometry-pareto or vrm-tradeoff (see --list)",
+        "geometry-pareto, vrm-tradeoff, runtime-pid or "
+        "fleet-allocation (see --list)",
     )
     optimize.add_argument(
         "--list", action="store_true",
@@ -603,7 +604,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the per-chip records as JSON",
     )
     fleet.set_defaults(handler=_cmd_fleet)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the repo's AST lint suite (determinism, unit "
+        "suffixes, spec contracts; see docs/static-analysis.md)",
+    )
+    from repro.analysis.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
     return parser
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run as lint_run
+
+    return lint_run(args)
 
 
 def main(argv: "list[str] | None" = None) -> int:

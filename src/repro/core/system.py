@@ -16,9 +16,7 @@ paper reports in Section III:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.casestudy.power7plus import (
     Power7CaseStudy,

@@ -139,7 +139,7 @@ def batch_chip_states(
         for spec in specs
     }
     families: "dict[tuple, dict[float, list[float]]]" = {}
-    for flow, inlet, utilization, nx, ny in points:
+    for flow, inlet, utilization, nx, ny in sorted(points):
         flows = families.setdefault((inlet, nx, ny), {})
         flows.setdefault(flow, []).append(utilization)
 

@@ -33,7 +33,7 @@ crossover, the mixed-potential OCV shift, is carried by the spec's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.linalg import solve_banded

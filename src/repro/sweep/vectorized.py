@@ -99,7 +99,7 @@ def batch_peak_temperatures(
         for spec in specs
     }
     families: "dict[tuple, dict[float, list[float]]]" = {}
-    for flow, inlet, utilization, nx, ny in points:
+    for flow, inlet, utilization, nx, ny in sorted(points):
         flows = families.setdefault((inlet, nx, ny), {})
         flows.setdefault(flow, []).append(utilization)
 
@@ -175,7 +175,7 @@ def _array_curves(flows: "Sequence[float]") -> "dict[float, object]":
                 break
             if key not in needed:
                 del _ARRAY_CURVE_CACHE[key]
-    return {f: _ARRAY_CURVE_CACHE[f] for f in needed}
+    return {f: _ARRAY_CURVE_CACHE[f] for f in sorted(needed)}
 
 
 # -- kernels ---------------------------------------------------------------------------

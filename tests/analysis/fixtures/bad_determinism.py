@@ -1,0 +1,53 @@
+"""Fixture: every RPL1xx determinism rule trips at a known line.
+
+The line numbers are asserted exactly by ``test_fixture_findings.py``;
+edit with care and update the expectations when you touch it.
+"""
+
+import hashlib
+import json
+import os
+import random
+import time
+from datetime import datetime
+from pathlib import Path
+
+import numpy as np
+
+
+def unseeded_calls():
+    a = random.random()                       # line 19: RPL101
+    b = np.random.rand(3)                     # line 20: RPL101
+    rng = random.Random()                     # line 21: RPL101 (no seed)
+    return a, b, rng
+
+
+def wall_clock_stamps():
+    stamp = time.time()                       # line 26: RPL102
+    now = datetime.now()                      # line 27: RPL102
+    return stamp, now
+
+
+def unsorted_listings(root):
+    for name in os.listdir(root):             # line 32: RPL103
+        print(name)
+    for path in Path(root).glob("*.json"):    # line 34: RPL103
+        print(path)
+
+
+def set_iteration(values):
+    chips = {value * 2 for value in values}
+    for chip in chips:                        # line 40: RPL104
+        print(chip)
+    return [entry for entry in {1, 2, 3}]     # line 42: RPL104
+
+
+def unstable_export(payload, out):
+    text = json.dumps(payload)                # line 46: RPL105
+    json.dump(payload, out, indent=2)         # line 47: RPL105
+    return text
+
+
+def hash_of_unordered(records):
+    digest = hashlib.sha256(str(set(records)).encode())   # line 52: RPL106
+    return digest.hexdigest()

@@ -1,0 +1,9 @@
+"""Fixture: RPL401 unused import at a known line."""
+
+import json                                           # line 3: RPL401
+import math
+from os import path as os_path                        # line 5: RPL401
+
+
+def hypotenuse(a_m: float, b_m: float) -> float:
+    return math.hypot(a_m, b_m)

@@ -1,0 +1,32 @@
+"""Fixture: RPL2xx unit-suffix violations at known lines."""
+
+from dataclasses import dataclass
+
+
+def mixed_addition(peak_temperature_c: float, inlet_temperature_k: float):
+    return peak_temperature_c + inlet_temperature_k   # line 7: RPL201
+
+
+def cross_unit_binding(state_peak_k: float):
+    peak_c = state_peak_k                             # line 11: RPL202
+    return peak_c
+
+
+def energy_mislabeled(heat_w: float, window_s: float):
+    total_w = heat_w * window_s                       # line 16: RPL202
+    return total_w
+
+
+def pump_power_w(flow_ml_min: float):
+    return flow_ml_min                                # line 21: RPL202 (return)
+
+
+def missing_suffix(chip_power: float, area_ratio: float) -> float:
+    # line 24: RPL203 on chip_power only; area_ratio carries a marker
+    return chip_power * area_ratio
+
+
+@dataclass
+class BadGeometry:
+    channel_width: float                              # line 31: RPL203
+    aspect_ratio: float                               # clean: marker

@@ -1,0 +1,62 @@
+"""Fixture: idiomatic repo code the linter must pass with 0 findings.
+
+Exercises the constructs next to every rule's trigger: seeded RNGs,
+perf_counter telemetry, sorted listings and set iterations, sort_keys
+exports, suffixed and marker-carrying names, conversion helpers.
+"""
+
+import hashlib
+import json
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+
+@dataclass
+class Geometry:
+    channel_width_um: float
+    aspect_ratio: float
+    porosity: float
+
+
+def kelvin_from_celsius(temperature_c: float) -> float:
+    return temperature_c + 273.15
+
+
+def seeded_draws(seed: int):
+    rng = random.Random(seed)
+    generator = np.random.default_rng(seed)
+    return rng.random(), generator.standard_normal(3)
+
+
+def elapsed_telemetry():
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def sorted_listing(root) -> "list[str]":
+    names = [path.name for path in sorted(Path(root).iterdir())]
+    return sorted(names)
+
+
+def pinned_set_iteration(values) -> "list[float]":
+    unique = {value * 2.0 for value in values}
+    return [entry for entry in sorted(unique)]
+
+
+def stable_export(payload) -> str:
+    text = json.dumps(payload, sort_keys=True)
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    return f"{digest}:{text}"
+
+
+def total_power_w(pump_w: float, chip_w: float) -> float:
+    return pump_w + chip_w
+
+
+def anodic_branch(exp_a: float, exp_c: float) -> float:
+    # Subscripts, not units: must not trip RPL201.
+    return exp_a - exp_c

@@ -1,0 +1,25 @@
+# repro-lint: disable-file=RPL105
+"""Fixture: suppression comments hide exactly what they name."""
+
+import json
+import random
+import time
+
+
+def line_suppressed():
+    value = random.random()  # repro-lint: disable=RPL101
+    return value
+
+
+def wrong_code_suppressed():
+    # The disable names RPL102 but the violation is RPL101: must still
+    # be reported.
+    return random.random()  # repro-lint: disable=RPL102
+
+
+def file_suppressed(payload):
+    return json.dumps(payload)
+
+
+def disable_all():
+    return time.time()  # repro-lint: disable=all

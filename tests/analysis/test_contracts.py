@@ -1,0 +1,183 @@
+"""RPL3xx contract rules against a synthetic package with seeded drift
+on every surface (dead field, unknown-field refs, typo'd attribute read,
+evaluator registry drift, stale CLI help, stale docs)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.contracts import contract_findings, find_package_root
+
+SPEC = '''\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    evaluator: str = "good"
+    flow_ml_min: float = 50.0
+    dead_field: float = 0.0
+    label: str = ""
+
+    def cache_key(self) -> str:
+        return self.label
+'''
+
+EVALUATORS = '''\
+from pkg.sweep.spec import ScenarioSpec
+
+
+def register_evaluator(name):
+    def wrap(function):
+        return function
+    return wrap
+
+
+@register_evaluator("good")
+def evaluate_good(spec: ScenarioSpec) -> float:
+    return spec.flow_ml_min + spec.missing_attr
+
+
+@register_evaluator("orphan")
+def evaluate_orphan(spec: ScenarioSpec) -> float:
+    return spec.flow_ml_min
+'''
+
+SWEEP_PRESETS = '''\
+from pkg.sweep.spec import ScenarioSpec
+
+
+def SweepPreset(**kwargs):
+    return kwargs
+
+
+ALPHA = SweepPreset(
+    name="alpha",
+    base=ScenarioSpec(flow_ml_min=25.0, bogus_field=1.0, evaluator="ghost"),
+)
+'''
+
+OPT_PRESETS = '''\
+def OptimizationPreset(**kwargs):
+    return kwargs
+
+
+def ContinuousAxis(field, lo, hi):
+    return (field, lo, hi)
+
+
+BETA = OptimizationPreset(
+    name="beta",
+    axes=[ContinuousAxis("flow_ml_min", 10.0, 90.0),
+          ContinuousAxis("nope", 0.0, 1.0)],
+)
+'''
+
+CLI = '''\
+def build(commands):
+    sweep = commands.add_parser("sweep")
+    sweep.add_argument("preset", help="alpha (see --list)")
+    optimize = commands.add_parser("optimize")
+    optimize.add_argument("preset", help="pick a study")
+    return sweep, optimize
+'''
+
+
+@pytest.fixture
+def synthetic_repo(tmp_path: Path) -> "tuple[Path, Path]":
+    package = tmp_path / "src" / "pkg"
+    for relative, content in {
+        "sweep/spec.py": SPEC,
+        "sweep/evaluators.py": EVALUATORS,
+        "sweep/presets.py": SWEEP_PRESETS,
+        "opt/presets.py": OPT_PRESETS,
+        "cli.py": CLI,
+    }.items():
+        target = package / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(content)
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "cli.md").write_text(
+        "# CLI\n\nSweep presets: alpha.\n"
+    )
+    return package, tmp_path
+
+
+def test_find_package_root(synthetic_repo):
+    package, root = synthetic_repo
+    assert find_package_root([str(package)]) == package
+    assert find_package_root([str(package / "cli.py")]) == package
+    assert find_package_root([str(root / "docs")]) is None
+
+
+def test_every_contract_rule_fires(synthetic_repo):
+    package, root = synthetic_repo
+    findings = contract_findings(package, root)
+    by_code = {}
+    for finding in findings:
+        by_code.setdefault(finding.code, []).append(finding)
+
+    [dead] = by_code["RPL301"]
+    assert "dead_field" in dead.message
+    assert dead.path == "src/pkg/sweep/spec.py"
+
+    unknown = {f.message for f in by_code["RPL302"]}
+    assert any("bogus_field" in m for m in unknown)
+    assert any("nope" in m for m in unknown)
+
+    [typo] = by_code["RPL303"]
+    assert "missing_attr" in typo.message
+    assert typo.path == "src/pkg/sweep/evaluators.py"
+
+    drift = {f.message for f in by_code["RPL304"]}
+    assert any("ghost" in m and "never registered" in m for m in drift)
+    assert any("orphan" in m and "registered but nothing" in m for m in drift)
+
+    stale = [f for f in by_code["RPL305"]]
+    optimize_help = [f for f in stale if "optimize" in f.message]
+    docs = [f for f in stale if f.path == "docs/cli.md"]
+    assert optimize_help and "beta" in optimize_help[0].message
+    assert docs and "beta" in docs[0].message
+    # The sweep help mentions alpha: no finding against it.
+    assert not any(
+        "'sweep'" in f.message for f in stale if f.path.endswith("cli.py")
+    )
+
+
+def test_clean_package_has_no_contract_findings(synthetic_repo):
+    package, root = synthetic_repo
+    # Repair every seeded drift, then expect silence.
+    (package / "sweep" / "spec.py").write_text(SPEC.replace(
+        "    dead_field: float = 0.0\n", ""
+    ))
+    (package / "sweep" / "evaluators.py").write_text(
+        EVALUATORS
+        .replace(" + spec.missing_attr", "")
+        .replace('@register_evaluator("orphan")', "")
+        .replace("def evaluate_orphan", "def _helper")
+    )
+    (package / "sweep" / "presets.py").write_text(
+        SWEEP_PRESETS.replace(" bogus_field=1.0,", "").replace(
+            '"ghost"', '"good"'
+        )
+    )
+    (package / "opt" / "presets.py").write_text(OPT_PRESETS.replace(
+        ',\n          ContinuousAxis("nope", 0.0, 1.0)', ""
+    ))
+    (package / "cli.py").write_text(CLI.replace(
+        'help="pick a study"', 'help="beta (see --list)"'
+    ))
+    (package.parent.parent / "docs" / "cli.md").write_text(
+        "# CLI\n\nSweep presets: alpha. Optimize presets: beta.\n"
+    )
+    assert contract_findings(package, package.parent.parent) == []
+
+
+def test_referenced_evaluator_via_spec_default(synthetic_repo):
+    package, root = synthetic_repo
+    findings = contract_findings(package, root)
+    # "good" is referenced by the spec's own evaluator default: it must
+    # not appear in any RPL304 message about missing references.
+    assert not any(
+        f.code == "RPL304" and "'good'" in f.message for f in findings
+    )

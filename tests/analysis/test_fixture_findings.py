@@ -1,0 +1,78 @@
+"""The linter against its fixture wall: every seeded violation is caught
+at its exact (line, code), and the clean fixture stays clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def codes_by_line(name: str) -> "list[tuple[int, str]]":
+    findings = lint_file(FIXTURES / name)
+    return [(f.line, f.code) for f in findings]
+
+
+def test_bad_determinism_exact_findings():
+    assert codes_by_line("bad_determinism.py") == [
+        (19, "RPL101"),
+        (20, "RPL101"),
+        (21, "RPL101"),
+        (26, "RPL102"),
+        (27, "RPL102"),
+        (32, "RPL103"),
+        (34, "RPL103"),
+        (40, "RPL104"),
+        (42, "RPL104"),
+        (46, "RPL105"),
+        (47, "RPL105"),
+        (52, "RPL106"),
+    ]
+
+
+def test_bad_units_exact_findings():
+    assert codes_by_line("bad_units.py") == [
+        (7, "RPL201"),
+        (11, "RPL202"),
+        (16, "RPL202"),
+        (21, "RPL202"),
+        (24, "RPL203"),
+        (31, "RPL203"),
+    ]
+
+
+def test_bad_hygiene_exact_findings():
+    assert codes_by_line("bad_hygiene.py") == [
+        (3, "RPL401"),
+        (5, "RPL401"),
+    ]
+
+
+def test_clean_fixture_has_zero_findings():
+    assert codes_by_line("clean_module.py") == []
+
+
+def test_suppressions_hide_exactly_what_they_name():
+    # disable=RPL101 hides line 10; disable-file=RPL105 hides the dumps
+    # call; disable=all hides the wall-clock read; the mis-targeted
+    # disable=RPL102 on an RPL101 violation hides nothing.
+    assert codes_by_line("suppressed.py") == [(17, "RPL101")]
+
+
+def test_syntax_error_reports_rpl999(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def nope(:\n")
+    findings = lint_file(broken)
+    assert [f.code for f in findings] == ["RPL999"]
+
+
+@pytest.mark.parametrize("name", [
+    "bad_determinism.py", "bad_units.py", "bad_hygiene.py",
+])
+def test_finding_format_is_clickable(name):
+    finding = lint_file(FIXTURES / name)[0]
+    text = finding.format()
+    assert text.startswith(f"{finding.path}:{finding.line}:")
+    assert finding.code in text

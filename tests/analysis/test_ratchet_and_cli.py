@@ -1,0 +1,124 @@
+"""Ratchet semantics (shrink but never grow) and the lint entry points:
+exit codes, JSON output, --select, --update-ratchet, and the ``repro
+lint`` subcommand."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Finding, Ratchet
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as repro_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def make(path: str, line: int, code: str) -> Finding:
+    return Finding(path, line, 1, code, "synthetic")
+
+
+class TestRatchet:
+    def test_exact_allowance_is_ok(self):
+        findings = [make("a.py", 3, "RPL203"), make("a.py", 9, "RPL203")]
+        outcome = Ratchet({"a.py:RPL203": 2}).compare(findings)
+        assert outcome.ok
+        assert outcome.new == []
+        assert outcome.improved == {}
+        assert outcome.stale == []
+
+    def test_new_finding_fails_with_the_overflow_reported(self):
+        findings = [make("a.py", 3, "RPL203"), make("a.py", 9, "RPL203")]
+        outcome = Ratchet({"a.py:RPL203": 1}).compare(findings)
+        assert not outcome.ok
+        assert [f.line for f in outcome.new] == [9]
+
+    def test_unknown_bucket_fails_entirely(self):
+        outcome = Ratchet({}).compare([make("b.py", 1, "RPL104")])
+        assert not outcome.ok
+        assert len(outcome.new) == 1
+
+    def test_improved_and_stale_are_reported_for_tightening(self):
+        ratchet = Ratchet({"a.py:RPL203": 3, "gone.py:RPL104": 1})
+        outcome = ratchet.compare([make("a.py", 3, "RPL203")])
+        assert outcome.ok
+        assert outcome.improved == {"a.py:RPL203": (1, 3)}
+        assert outcome.stale == ["gone.py:RPL104"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        ratchet = Ratchet.from_findings(
+            [make("a.py", 3, "RPL203"), make("a.py", 9, "RPL203")]
+        )
+        target = tmp_path / "ratchet.json"
+        ratchet.save(target)
+        assert Ratchet.load(target).allowed == {"a.py:RPL203": 2}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Ratchet.load(tmp_path / "absent.json").allowed == {}
+
+
+class TestLintCli:
+    def test_clean_path_exits_zero(self, capsys):
+        code = lint_main([str(FIXTURES / "clean_module.py")])
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        code = lint_main([str(FIXTURES / "bad_hygiene.py")])
+        assert code == 1
+        assert "RPL401" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert lint_main(["does/not/exist.py"]) == 2
+
+    def test_json_format_parses_and_counts(self, capsys):
+        lint_main([str(FIXTURES / "bad_hygiene.py"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"RPL401": 2}
+        assert all(f["code"] == "RPL401" for f in payload["findings"])
+
+    def test_select_filters_by_prefix(self, capsys):
+        code = lint_main(
+            [str(FIXTURES / "bad_determinism.py"), "--select", "RPL105"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RPL105" in out and "RPL101" not in out
+
+    def test_update_ratchet_then_gate_passes(self, tmp_path, capsys):
+        ratchet = tmp_path / "ratchet.json"
+        bad = str(FIXTURES / "bad_units.py")
+        assert lint_main([bad, "--ratchet", str(ratchet),
+                          "--update-ratchet"]) == 0
+        capsys.readouterr()
+        assert lint_main([bad, "--ratchet", str(ratchet)]) == 0
+
+    def test_ratchet_reports_regressions_only(self, tmp_path, capsys):
+        bad = str(FIXTURES / "bad_hygiene.py")
+        ratchet = tmp_path / "ratchet.json"
+        # Accept the current two findings, then allow one fewer: the
+        # gate must fail showing exactly the single overflow line.
+        assert lint_main([bad, "--ratchet", str(ratchet),
+                          "--update-ratchet"]) == 0
+        allowed = json.loads(ratchet.read_text())
+        [(key, count)] = allowed.items()
+        assert count == 2
+        ratchet.write_text(json.dumps({key: 1}))
+        capsys.readouterr()
+        assert lint_main([bad, "--ratchet", str(ratchet)]) == 1
+        out = capsys.readouterr().out
+        assert "1 finding(s)" in out
+
+    def test_rules_catalog_lists_every_family(self, capsys):
+        assert lint_main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPL101", "RPL201", "RPL301", "RPL401", "RPL999"):
+            assert code in out
+
+
+class TestReproLintSubcommand:
+    def test_repro_lint_runs_the_suite(self, capsys):
+        code = repro_main(["lint", str(FIXTURES / "clean_module.py")])
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_repro_lint_propagates_failure(self, capsys):
+        assert repro_main(["lint", str(FIXTURES / "bad_units.py")]) == 1

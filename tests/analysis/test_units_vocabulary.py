@@ -1,0 +1,42 @@
+"""Unit-suffix inference: the vocabulary, ambiguity and exemptions."""
+
+from repro.analysis.units import suffix_unit, suffix_unit_detail
+
+
+def test_longest_suffix_wins():
+    assert suffix_unit("r_junction_inlet_k_w") == "thermal-resistance:K/W"
+    assert suffix_unit("pumping_w") == "power:W"
+    assert suffix_unit("total_flow_ml_min") == "flow:ml/min"
+
+
+def test_temperature_suffixes():
+    assert suffix_unit("peak_temperature_c") == "temperature:degC"
+    assert suffix_unit("inlet_temperature_k") == "temperature:K"
+    assert suffix_unit("delta_celsius") == "temperature:degC"
+
+
+def test_charge_c_is_coulombs_not_celsius():
+    assert suffix_unit("usable_charge_c") == "charge:C"
+
+
+def test_conversion_helpers_are_exempt():
+    assert suffix_unit("kelvin_from_celsius") is None
+    assert suffix_unit("meters_from_mm") is None
+
+
+def test_single_token_names_have_no_suffix():
+    assert suffix_unit("w") is None
+    assert suffix_unit("flow") is None
+
+
+def test_ambiguity_flag():
+    # _a / _c double as subscripts (exp_a, exp_c): marked ambiguous.
+    assert suffix_unit_detail("exp_a") == ("current:A", True)
+    assert suffix_unit_detail("exp_c") == ("temperature:degC", True)
+    assert suffix_unit_detail("pump_w") == ("power:W", False)
+    assert suffix_unit_detail("inlet_k") == ("temperature:K", False)
+
+
+def test_sheet_resistance_and_molar_energy():
+    assert suffix_unit("contact_ohm_sq") == "sheet-resistance:ohm/sq"
+    assert suffix_unit("activation_energy_j_mol") == "molar-energy:J/mol"

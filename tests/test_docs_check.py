@@ -168,6 +168,22 @@ class TestRealRepositoryDocs:
         snippets = check_docs.extract_snippets(REPO_ROOT / "README.md")
         assert len(snippets) >= 2
 
+    def test_rule_catalog_matches_registry(self):
+        # docs/static-analysis.md must document every registered RPL###
+        # code and mention none that were removed.
+        assert check_docs.check_rule_catalog(REPO_ROOT) == []
+
+    def test_rule_catalog_reports_drift(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (tmp_path / "src").mkdir()
+        (docs / "static-analysis.md").write_text(
+            "# Rules\n\nRPL777 does not exist.\n"
+        )
+        errors = check_docs.check_rule_catalog(tmp_path)
+        assert any("RPL777" in error for error in errors)
+        assert any("RPL101" in error for error in errors)
+
     def test_cli_main_exit_codes(self, tmp_path, capsys):
         (tmp_path / "README.md").write_text("[ok](README.md)\n")
         assert check_docs.main(["--root", str(tmp_path)]) == 0

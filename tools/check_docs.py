@@ -215,6 +215,35 @@ def run_snippets(
     return errors
 
 
+def check_rule_catalog(root: Path) -> "list[str]":
+    """``docs/static-analysis.md`` vs the live ``repro.analysis`` rule
+    registry: every registered RPL### code must be documented, and the
+    doc must not mention codes that no longer exist."""
+    doc = root / "docs" / "static-analysis.md"
+    if not doc.is_file():
+        return []
+    sys.path.insert(0, str(root / "src"))
+    try:
+        from repro.analysis import RULES
+    except ImportError as error:
+        return [f"{doc.relative_to(root)}:1: cannot import repro.analysis ({error})"]
+    finally:
+        sys.path.pop(0)
+    documented = set(re.findall(r"\bRPL\d{3}\b", doc.read_text()))
+    errors = []
+    for code in sorted(set(RULES) - documented):
+        errors.append(
+            f"{doc.relative_to(root)}:1: registered rule {code} is not "
+            "documented here"
+        )
+    for code in sorted(documented - set(RULES)):
+        errors.append(
+            f"{doc.relative_to(root)}:1: documented rule {code} does "
+            "not exist in repro.analysis.RULES"
+        )
+    return errors
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         description="Validate intra-repo markdown links and execute "
@@ -241,6 +270,7 @@ def main(argv: "list[str] | None" = None) -> int:
         return 1
 
     errors = check_links(root, files)
+    errors.extend(check_rule_catalog(root))
     n_snippets = 0
     if not args.no_snippets:
         n_snippets = sum(len(extract_snippets(p)) for p in files)
