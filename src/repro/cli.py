@@ -307,17 +307,28 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         controller = PIDFlowController(
             kp=args.kp, ki=args.ki, initial_flow_ml_min=args.flow
         )
-    engine = RuntimeEngine(
-        controller,
-        governor=ThrottleGovernor(),
-        reservoir=ElectrolyteState(),
-        config=RuntimeConfig(),
-    )
-    result = engine.run(trace)
+    if args.backend == "vectorized":
+        from repro.runtime import BatchedRuntimeEngine
+
+        result = BatchedRuntimeEngine(
+            [controller],
+            governors=[ThrottleGovernor()],
+            reservoirs=[ElectrolyteState()],
+            config=RuntimeConfig(),
+        ).run(trace)[0]
+    else:
+        engine = RuntimeEngine(
+            controller,
+            governor=ThrottleGovernor(),
+            reservoir=ElectrolyteState(),
+            config=RuntimeConfig(),
+        )
+        result = engine.run(trace)
 
     print(
         f"runtime '{trace.name}' — {len(trace.segments)} segment(s), "
-        f"{trace.duration_s:g} s, {args.controller} flow control\n"
+        f"{trace.duration_s:g} s, {args.controller} flow control "
+        f"({args.backend} backend)\n"
     )
     kpis = result.kpis()
     print(format_table(
@@ -530,6 +541,11 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument(
         "--ki", type=float, default=60.0, metavar="G",
         help="PID integral gain [ml/min per K.s] (default: 60)",
+    )
+    runtime.add_argument(
+        "--backend", default="serial", choices=("serial", "vectorized"),
+        help="execution path: the scalar engine, or the batched engine "
+        "as a single lane (bit-identical trajectories; default: serial)",
     )
     runtime.add_argument(
         "--csv", default=None, metavar="PATH",

@@ -16,9 +16,12 @@ iterates the two models to a fixed point:
 
 :class:`~repro.cosim.transient.TransientCosim` integrates the same coupled
 system through a workload step, and both draw their curves from the same
-process-wide surface store.
+process-wide surface store. :func:`~repro.cosim.batch.batched_step_responses`
+marches many such step responses in lockstep (shared thermal families,
+stacked state columns) with bit-identical trajectories.
 """
 
+from repro.cosim.batch import StepResponseCase, batched_step_responses
 from repro.cosim.coupling import CosimConfig, CosimResult, ElectroThermalCosim
 from repro.cosim.surface import PolarizationSurface, surface_for
 from repro.cosim.transient import TransientCosim, TransientSample
@@ -28,7 +31,9 @@ __all__ = [
     "CosimResult",
     "ElectroThermalCosim",
     "PolarizationSurface",
+    "StepResponseCase",
     "TransientCosim",
     "TransientSample",
+    "batched_step_responses",
     "surface_for",
 ]

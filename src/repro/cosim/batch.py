@@ -1,0 +1,208 @@
+"""Batched transient co-simulation: many step responses marched together.
+
+The scalar :class:`~repro.cosim.transient.TransientCosim` integrates one
+utilization step at a time: one thermal model, one backward-Euler LU per
+step size, one trajectory. A transient *sweep* runs dozens of such
+trajectories whose thermal systems are nearly identical — the ``transient``
+preset varies utilization pairs and step sizes far more often than it
+varies the matrix-defining knobs (flow, inlet, raster).
+
+:func:`batched_step_responses` exploits that structure:
+
+- scenarios sharing ``(flow, inlet, nx, ny)`` share one
+  :class:`~repro.thermal.model.ThermalModel` — one sparse assembly, one
+  steady LU for the initial conditions, one backward-Euler LU per distinct
+  half step size;
+- scenarios additionally sharing ``(duration, dt)`` march in *lockstep*:
+  their states ride as stacked columns through
+  :class:`~repro.thermal.batch.AnchoredTransientSolver`, so each time step
+  costs one multi-RHS triangular solve instead of one solve per scenario;
+- sampling reuses the scalar stepper's own ``_sample`` (shared
+  :class:`~repro.cosim.surface.PolarizationSurface`, same group
+  partition), applied per column — but first *prefills* the surface:
+  the group temperatures of all columns at each sample time go through
+  :meth:`~repro.cosim.surface.PolarizationSurface.warm_nodes`, so the
+  node curves the scalar path would build one by one (a full porous
+  march each) are marched as one batch.
+
+Equivalence: the thermal trajectories are *bit-exact* — SuperLU solves a
+multi-column right-hand side column by column, the stacked step formula
+mirrors the scalar one elementwise, and every column is copied contiguous
+before sampling so reductions see the same memory layout. That matters
+because the temperatures feed discontinuous decisions downstream
+(settling-band exits here, control branches in the runtime layer). The
+sampled *currents* agree with the scalar path to floating-point round-off
+rather than exactly: prefilled node curves come from the batched
+polarization march, which matches the scalar construction only to ~1 ulp.
+Currents feed no branch in either layer, so the round-off never amplifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cosim.coupling import CosimConfig, group_coolant_temperatures
+from repro.cosim.transient import TransientCosim, TransientSample
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StepResponseCase:
+    """One utilization-step scenario of a batched transient run."""
+
+    config: CosimConfig
+    utilization_before: float
+    utilization_after: float
+    duration_s: float
+    dt_s: float
+
+
+def batched_step_responses(
+    cases: "Sequence[StepResponseCase]",
+) -> "list[list[TransientSample]]":
+    """Step-response trajectories for every case, batch-marched.
+
+    Returns one sample list per case, in input order, each bit-identical
+    to ``TransientCosim(case.config).run_step_response(...)`` with the
+    case's parameters.
+    """
+    from repro.casestudy.power7plus import (
+        build_thermal_model,
+        full_load_power_map,
+    )
+    from repro.thermal.batch import AnchoredTransientSolver
+
+    for case in cases:
+        if (
+            case.duration_s <= 0.0
+            or case.dt_s <= 0.0
+            or case.dt_s > case.duration_s
+        ):
+            raise ConfigurationError("need 0 < dt <= duration")
+
+    # Model families: cases sharing the matrix-defining knobs. Within a
+    # family, (duration, dt) sub-groups march in lockstep.
+    families: "dict[tuple, dict[tuple, list[int]]]" = {}
+    for index, case in enumerate(cases):
+        config = case.config
+        family = families.setdefault(
+            (
+                config.total_flow_ml_min,
+                config.inlet_temperature_k,
+                config.nx,
+                config.ny,
+            ),
+            {},
+        )
+        family.setdefault((case.duration_s, case.dt_s), []).append(index)
+
+    results: "list[list[TransientSample] | None]" = [None] * len(cases)
+    for (flow, inlet, nx, ny), marches in sorted(families.items()):
+        # One model for the whole family — utilization only scales the
+        # right-hand side, exactly as in the scalar stepper.
+        model = build_thermal_model(
+            nx=nx, ny=ny,
+            total_flow_ml_min=flow,
+            inlet_temperature_k=inlet,
+        )
+        solver = AnchoredTransientSolver(model)
+        model._build_system()  # materialize the source-free base RHS
+        _, base_rhs = model._structure
+        offset = model._field("active_si").offset
+        span = slice(offset, offset + nx * ny)
+        for (duration_s, dt_s), indices in sorted(marches.items()):
+            columns_before = np.repeat(
+                base_rhs[:, None], len(indices), axis=1
+            )
+            columns_after = columns_before.copy()
+            samplers = []
+            for k, index in enumerate(indices):
+                case = cases[index]
+                columns_before[span, k] += full_load_power_map(
+                    nx, ny, utilization=case.utilization_before
+                ).ravel()
+                columns_after[span, k] += full_load_power_map(
+                    nx, ny, utilization=case.utilization_after
+                ).ravel()
+                samplers.append(TransientCosim(case.config))
+            states = solver.solve_steady_columns(columns_before)
+
+            trajectories: "list[list[TransientSample]]" = [
+                [] for _ in samplers
+            ]
+            _sample_columns(samplers, model, states, 0.0, trajectories)
+            # Same stepping schedule (and float guards) as the scalar
+            # run_step_response: full dt steps as two half steps each,
+            # then one partial step landing exactly at duration_s.
+            n_full = int(duration_s / dt_s + 1e-9)
+            remainder = duration_s - n_full * dt_s
+            if remainder <= 1e-9 * dt_s:
+                remainder = 0.0
+            for i in range(1, n_full + 1):
+                states = solver.step_columns(
+                    states, columns_after, dt_s / 2.0
+                )
+                states = solver.step_columns(
+                    states, columns_after, dt_s / 2.0
+                )
+                at_end = i == n_full and remainder == 0.0
+                time_s = duration_s if at_end else dt_s * i
+                _sample_columns(samplers, model, states, time_s, trajectories)
+            if remainder > 0.0:
+                states = solver.step_columns(
+                    states, columns_after, remainder / 2.0
+                )
+                states = solver.step_columns(
+                    states, columns_after, remainder / 2.0
+                )
+                _sample_columns(
+                    samplers, model, states, duration_s, trajectories
+                )
+            for k, index in enumerate(indices):
+                results[index] = trajectories[k]
+    return [samples for samples in results if samples is not None]
+
+
+def _sample_columns(
+    samplers: "list[TransientCosim]",
+    model,
+    states: np.ndarray,
+    time_s: float,
+    trajectories: "list[list[TransientSample]]",
+) -> None:
+    """Sample every column at one time, prefilling the surfaces first.
+
+    All columns' group temperatures go through ``warm_nodes`` before any
+    scalar ``_sample`` call, so missing node curves are marched as one
+    batch instead of one scalar march per first-touching column.
+    """
+    solutions = [
+        _column_solution(model, states, k) for k in range(len(samplers))
+    ]
+    queries: "dict[int, tuple[object, list[np.ndarray]]]" = {}
+    for sampler, solution in zip(samplers, solutions):
+        surface = sampler._surface
+        temps = group_coolant_temperatures(solution, sampler.config)
+        queries.setdefault(id(surface), (surface, []))[1].append(temps)
+    for surface, temp_arrays in queries.values():
+        surface.warm_nodes(np.concatenate(temp_arrays))
+    for k, (sampler, solution) in enumerate(zip(samplers, solutions)):
+        trajectories[k].append(sampler._sample(time_s, solution))
+
+
+def _column_solution(model, states: np.ndarray, k: int):
+    """One scenario column as a scalar-identical ``ThermalSolution``.
+
+    The column is copied contiguous first: numpy's pairwise reductions
+    (``mean``/``max`` inside the samplers) can round differently on
+    strided views, and bit-identity with the scalar trajectory is the
+    contract here.
+    """
+    from repro.thermal.solver import ThermalSolution
+
+    return ThermalSolution(
+        temperatures_k=np.ascontiguousarray(states[:, k]), model=model
+    )

@@ -152,6 +152,51 @@ class PolarizationSurface:
             self._curves[node] = curve
         return curve
 
+    def warm_nodes(self, temperatures_k) -> int:
+        """Build every node curve the given temperatures bracket, batched.
+
+        The lazy :meth:`_curve` path constructs one node curve per miss —
+        a full scalar porous-electrode march each time, which dominates
+        the dynamic sweep evaluators' cost. This prefill collects the
+        missing bracketing nodes of all the given query temperatures and
+        builds them in a single call to
+        :func:`~repro.flowcell.batch.batched_polarization_curves` (one
+        array march for the whole set). Returns how many nodes were built.
+
+        Batched and scalar marches agree only to floating-point round-off
+        (~1 ulp on the curve samples), so a prefetched node can differ
+        from its lazily built twin in the last bit — callers that promise
+        *bit*-identity to a scalar reference must not warm (the batched
+        sweep kernels promise bit-identical thermal trajectories and
+        round-off-level electrical KPIs, which warming preserves).
+        """
+        temps = np.atleast_1d(np.asarray(temperatures_k, dtype=float))
+        index, _ = self._bracket(temps)
+        flat = index.ravel()
+        needed = np.unique(np.concatenate([flat, flat + 1]))
+        missing = [int(node) for node in needed if int(node) not in self._curves]
+        if not missing:
+            return 0
+        from repro.casestudy.power7plus import build_array_cell
+        from repro.flowcell.batch import batched_polarization_curves
+
+        cells = [
+            build_array_cell(
+                total_flow_ml_min=self.total_flow_ml_min,
+                temperature_k=float(self.node_temperatures_k[node]),
+                temperature_dependent=True,
+            )
+            for node in missing
+        ]
+        curves = batched_polarization_curves(
+            cells,
+            n_points=self.n_curve_points,
+            max_overpotential_v=self.max_overpotential_v,
+        )
+        for node, curve in zip(missing, curves):
+            self._curves[node] = curve.scaled(self.channels_per_group)
+        return len(missing)
+
     def _node_current(self, node: int, voltage_v: float) -> float:
         """Group current of one grid node at a terminal voltage [A].
 

@@ -13,7 +13,10 @@ power-delivery demands as workload varies:
 - :mod:`repro.runtime.state` — electrolyte reservoir state-of-charge
   along a trace (the flow-battery storage side);
 - :mod:`repro.runtime.engine` — the stepper tying them together into a
-  :class:`RuntimeResult` time series with energy/thermal KPIs.
+  :class:`RuntimeResult` time series with energy/thermal KPIs, plus the
+  :class:`BatchedRuntimeEngine` that advances many scenario lanes per
+  control interval (vector controllers, array SOC, shared multi-column
+  thermal steps) with bit-identical trajectories.
 
 The ``runtime`` sweep evaluator, the ``runtime-pid`` optimization preset
 and the ``repro runtime`` CLI command are thin wrappers over this
@@ -28,14 +31,21 @@ from repro.runtime.controllers import (
     Observation,
     PIDFlowController,
     ThrottleGovernor,
+    VectorFlowControllers,
+    VectorThrottleGovernors,
 )
 from repro.runtime.engine import (
+    BatchedRuntimeEngine,
     RuntimeConfig,
     RuntimeEngine,
     RuntimeResult,
     RuntimeSample,
 )
-from repro.runtime.state import ElectrolyteState, build_case_study_loop
+from repro.runtime.state import (
+    ElectrolyteState,
+    ElectrolyteStateArray,
+    build_case_study_loop,
+)
 from repro.runtime.trace import (
     TRACE_NAMES,
     TraceSegment,
@@ -51,7 +61,9 @@ from repro.runtime.trace import (
 
 __all__ = [
     "TRACE_NAMES",
+    "BatchedRuntimeEngine",
     "ElectrolyteState",
+    "ElectrolyteStateArray",
     "FixedFlow",
     "FlowController",
     "Observation",
@@ -61,6 +73,8 @@ __all__ = [
     "RuntimeResult",
     "RuntimeSample",
     "ThrottleGovernor",
+    "VectorFlowControllers",
+    "VectorThrottleGovernors",
     "TraceSegment",
     "WorkloadTrace",
     "build_case_study_loop",

@@ -24,6 +24,9 @@ lets a controller peek at the future.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.core.metrics import DEFAULT_TEMPERATURE_LIMIT_C
 from repro.errors import ConfigurationError
@@ -225,3 +228,162 @@ class ThrottleGovernor:
         ):
             self._throttled = False
         return self.throttle_scale if self._throttled else 1.0
+
+
+class VectorFlowControllers:
+    """Lane-array mirror of a batch of flow controllers.
+
+    Packs the gains, actuator limits and integrator state of many
+    :class:`FixedFlow` / :class:`PIDFlowController` instances into numpy
+    lane arrays so a batched runtime engine can command every scenario's
+    flow in one vectorized update per control interval.
+
+    The update is the scalar :meth:`PIDFlowController.flow_command`
+    arithmetic, expression for expression (same term order, same
+    conditional anti-windup predicate), so each lane's command stream is
+    bit-identical to running its scalar controller alone — the property
+    the batched/scalar equivalence tests pin, and a hard requirement
+    because commands pass through flow quantization, where an ulp decides
+    which thermal model a lane runs on. Fixed-flow lanes bypass the PID
+    expression entirely (``initial`` is returned verbatim), matching the
+    scalar class even for non-finite observations.
+    """
+
+    def __init__(self, controllers: "Sequence[FlowController]") -> None:
+        if not controllers:
+            raise ConfigurationError("need at least one controller lane")
+        lanes = []
+        for controller in controllers:
+            if isinstance(controller, PIDFlowController):
+                lanes.append((
+                    False,
+                    controller.target_peak_c,
+                    controller.kp, controller.ki, controller.kd,
+                    controller.min_flow_ml_min, controller.max_flow_ml_min,
+                    controller.initial_flow_ml_min,
+                ))
+            else:
+                # Any controller that ignores the observation (FixedFlow
+                # and custom constant policies) reduces to its initial
+                # command on every lane update.
+                initial = controller.initial_flow_ml_min
+                lanes.append((
+                    True, 0.0, 0.0, 0.0, 0.0, initial, initial, initial
+                ))
+        columns = list(zip(*lanes))
+        self._fixed = np.array(columns[0], dtype=bool)
+        (
+            self._targets_c, self._kps, self._kis, self._kds,
+            self._min_flows, self._max_flows, self._initials,
+        ) = (np.array(column, dtype=float) for column in columns[1:])
+        self.reset()
+
+    def __len__(self) -> int:
+        return self._initials.size
+
+    @property
+    def initial_flows_ml_min(self) -> np.ndarray:
+        """Per-lane commands before the first observation [ml/min]."""
+        return self._initials.copy()
+
+    def reset(self) -> None:
+        """Restore every lane's initial controller state."""
+        self._integrals_k_s = np.zeros_like(self._initials)
+        self._previous_errors_k = np.zeros_like(self._initials)
+        self._has_previous = False
+
+    def flow_commands(
+        self, peak_temperatures_c: np.ndarray, dt_s: float
+    ) -> np.ndarray:
+        """Per-lane flow commands [ml/min] for the next step."""
+        if dt_s <= 0.0:
+            raise ConfigurationError(f"dt must be > 0, got {dt_s}")
+        errors = peak_temperatures_c - self._targets_c
+        derivatives = np.zeros_like(errors)
+        if self._has_previous:
+            active = self._kds > 0.0
+            derivatives[active] = (
+                errors[active] - self._previous_errors_k[active]
+            ) / dt_s
+        self._previous_errors_k = errors.copy()
+        self._has_previous = True
+
+        candidates = self._integrals_k_s + errors * dt_s
+        raw = (
+            self._initials
+            + self._kps * errors
+            + self._kis * candidates
+            + self._kds * derivatives
+        )
+        clamped = np.minimum(self._max_flows, np.maximum(self._min_flows, raw))
+        accept = (raw == clamped) | ((raw > clamped) != (errors > 0.0))
+        self._integrals_k_s = np.where(
+            accept, candidates, self._integrals_k_s
+        )
+        return np.where(self._fixed, self._initials, clamped)
+
+
+class VectorThrottleGovernors:
+    """Lane-array mirror of a batch of (optional) throttle governors.
+
+    Lanes without a governor are encoded with a ``+inf`` trip temperature
+    and no net-power floor, so they can never throttle — exactly the
+    scalar engine's behaviour for ``governor=None`` — and the whole batch
+    updates with one vectorized pass of the scalar hysteresis predicate.
+    """
+
+    def __init__(
+        self, governors: "Sequence[ThrottleGovernor | None]"
+    ) -> None:
+        if not governors:
+            raise ConfigurationError("need at least one governor lane")
+        lanes = []
+        for governor in governors:
+            if governor is None:
+                lanes.append((np.inf, 0.0, 1.0, np.nan))
+            else:
+                min_net = (
+                    np.nan if governor.min_net_w is None
+                    else governor.min_net_w
+                )
+                lanes.append((
+                    governor.trip_peak_c,
+                    governor.release_peak_c,
+                    governor.throttle_scale,
+                    min_net,
+                ))
+        (
+            self._trips_c, self._releases_c, self._scales, self._min_nets_w,
+        ) = (np.array(column, dtype=float) for column in zip(*lanes))
+        self.reset()
+
+    def __len__(self) -> int:
+        return self._trips_c.size
+
+    @property
+    def throttled(self) -> np.ndarray:
+        """Per-lane boolean: which lanes are currently throttling."""
+        return self._throttled.copy()
+
+    def reset(self) -> None:
+        """Release every lane's throttle."""
+        self._throttled = np.zeros(self._trips_c.size, dtype=bool)
+
+    def scale_commands(
+        self, peak_temperatures_c: np.ndarray, nets_w: np.ndarray
+    ) -> np.ndarray:
+        """Per-lane activity multipliers, updating the hysteresis state.
+
+        A nan net-power floor means "no floor" (the scalar ``None``): nan
+        comparisons are false, so such lanes trip and release on
+        temperature alone, exactly like the scalar predicate.
+        """
+        has_floor = ~np.isnan(self._min_nets_w)
+        tripped = (peak_temperatures_c >= self._trips_c) | (
+            has_floor & (nets_w < self._min_nets_w)
+        )
+        release_ok = (peak_temperatures_c < self._releases_c) & (
+            ~has_floor | (nets_w >= self._min_nets_w)
+        )
+        self._throttled = tripped | (self._throttled & ~release_ok)
+        return np.where(self._throttled, self._scales, 1.0)

@@ -45,8 +45,10 @@ from repro.runtime.controllers import (
     FlowController,
     Observation,
     ThrottleGovernor,
+    VectorFlowControllers,
+    VectorThrottleGovernors,
 )
-from repro.runtime.state import ElectrolyteState
+from repro.runtime.state import ElectrolyteState, ElectrolyteStateArray
 from repro.runtime.trace import WorkloadTrace
 
 #: Junction-temperature limit used for violation accounting [degC] — the
@@ -505,3 +507,305 @@ class RuntimeEngine:
                 "runtime trajectory diverged (non-finite peak temperature)"
             )
         return RuntimeResult(trace_name=trace.name, samples=tuple(samples))
+
+
+class BatchedRuntimeEngine:
+    """Runs many closed-loop scenarios through one trace in lockstep.
+
+    The scalar :class:`RuntimeEngine` advances one scenario per call;
+    a runtime *sweep* runs dozens whose control intervals line up (same
+    trace, raster, inlet) while only the control policies differ. This
+    engine advances all of them together, one control interval at a time:
+
+    - controller and governor state live in
+      :class:`~repro.runtime.controllers.VectorFlowControllers` /
+      :class:`~repro.runtime.controllers.VectorThrottleGovernors` lane
+      arrays, updated with one vectorized pass per step;
+    - reservoir SOC lives in an
+      :class:`~repro.runtime.state.ElectrolyteStateArray`;
+    - lanes commanding the *same quantized flow* share one thermal model
+      from the process-wide store and advance as stacked state columns
+      through a single multi-RHS backward-Euler solve
+      (:class:`~repro.thermal.batch.AnchoredTransientSolver`), so a step
+      costs one triangular solve per distinct flow instead of one per
+      scenario.
+
+    Every lane's *thermal* trajectory — and with it every control
+    decision — is bit-identical to running its scalar engine alone, not
+    merely close: flow quantization, governor hysteresis and the PID all
+    branch on the floats, so the batched path reuses the scalar
+    expressions (and the scalar sampling code on contiguous per-lane
+    columns) rather than approximating them. The electrical samples
+    (currents, net power, SOC) agree to floating-point round-off: the
+    engine prefills the shared polarization surface through the batched
+    curve march (:meth:`PolarizationSurface.warm_nodes`), whose node
+    curves match the scalar construction to ~1 ulp. No control branch
+    reads those values under the sweep presets (governors run without a
+    net-power floor there), so the round-off never amplifies.
+
+    Parameters
+    ----------
+    controllers:
+        One flow controller per lane.
+    governors / reservoirs:
+        Optional per-lane throttle governors and electrolyte states
+        (``None`` entries — or ``None`` for the whole list — run those
+        lanes without a governor / reservoir).
+    config:
+        Shared engine configuration; every lane runs the same raster,
+        timing, quantization grid and pricing.
+    """
+
+    def __init__(
+        self,
+        controllers: "Sequence[FlowController]",
+        governors: "Sequence[ThrottleGovernor | None] | None" = None,
+        reservoirs: "Sequence[ElectrolyteState | None] | None" = None,
+        config: "RuntimeConfig | None" = None,
+    ) -> None:
+        if not controllers:
+            raise ConfigurationError("need at least one scenario lane")
+        n_lanes = len(controllers)
+        if governors is None:
+            governors = [None] * n_lanes
+        if reservoirs is None:
+            reservoirs = [None] * n_lanes
+        if len(governors) != n_lanes or len(reservoirs) != n_lanes:
+            raise ConfigurationError(
+                "controllers, governors and reservoirs must have one entry "
+                "per lane"
+            )
+        self.config = config if config is not None else RuntimeConfig()
+        self._controllers = VectorFlowControllers(controllers)
+        self._governors = VectorThrottleGovernors(governors)
+        self._reservoirs = ElectrolyteStateArray(reservoirs)
+        self._anchors = self._controllers.initial_flows_ml_min
+        self._models: "dict[float, object]" = {}
+        self._solvers: "dict[float, object]" = {}
+        self._power_maps: "dict[str, np.ndarray]" = {}
+        self._pumping: "dict[float, float]" = {}
+        self._cosim_configs: "dict[float, CosimConfig]" = {}
+
+    def __len__(self) -> int:
+        return len(self._controllers)
+
+    # -- cached building blocks ---------------------------------------------------
+
+    def _quantize_flows(self, flows_ml_min: np.ndarray) -> np.ndarray:
+        """Per-lane flow quantization, anchored at each lane's initial
+        flow — the scalar :meth:`RuntimeEngine._quantize_flow` rule,
+        vectorized (``np.round`` and ``round`` share half-even ties)."""
+        resolution = self.config.flow_resolution_ml_min
+        quantized = self._anchors + np.round(
+            (flows_ml_min - self._anchors) / resolution
+        ) * resolution
+        return np.maximum(resolution, quantized)
+
+    def _solver(self, flow_ml_min: float):
+        """The shared model + column stepper for one quantized flow."""
+        solver = self._solvers.get(flow_ml_min)
+        if solver is None:
+            from repro.thermal.batch import AnchoredTransientSolver
+
+            model = shared_thermal_model(
+                flow_ml_min,
+                self.config.inlet_temperature_k,
+                self.config.nx,
+                self.config.ny,
+            )
+            # Pin against store eviction for the lifetime of this engine,
+            # like the scalar engine's per-run model dict.
+            self._models[flow_ml_min] = model
+            solver = AnchoredTransientSolver(model)
+            self._solvers[flow_ml_min] = solver
+        return solver
+
+    def _workload_map(self, workload_name: str) -> np.ndarray:
+        base = self._power_maps.get(workload_name)
+        if base is None:
+            from repro.casestudy.workloads import standard_workloads
+
+            workload = {w.name: w for w in standard_workloads()}[workload_name]
+            base = workload.power_map(self.config.nx, self.config.ny)
+            self._power_maps[workload_name] = base
+        return base
+
+    def _pumping_w(self, flow_ml_min: float) -> float:
+        pumping = self._pumping.get(flow_ml_min)
+        if pumping is None:
+            from repro.casestudy.power7plus import array_pumping_power_w
+
+            pumping = array_pumping_power_w(
+                flow_ml_min, pump_efficiency=self.config.pump_efficiency
+            )
+            self._pumping[flow_ml_min] = pumping
+        return pumping
+
+    def _cosim_config(self, flow_ml_min: float) -> CosimConfig:
+        cosim_config = self._cosim_configs.get(flow_ml_min)
+        if cosim_config is None:
+            cosim_config = CosimConfig(
+                total_flow_ml_min=flow_ml_min,
+                inlet_temperature_k=self.config.inlet_temperature_k,
+                operating_voltage_v=self.config.operating_voltage_v,
+                n_channel_groups=self.config.n_channel_groups,
+                nx=self.config.nx,
+                ny=self.config.ny,
+                n_curve_points=self.config.n_curve_points,
+            )
+            self._cosim_configs[flow_ml_min] = cosim_config
+        return cosim_config
+
+    def _flow_groups(self, flows: np.ndarray) -> "list[tuple[float, list[int]]]":
+        """Lanes grouped by quantized flow, in sorted flow order."""
+        groups: "dict[float, list[int]]" = {}
+        for lane, flow in enumerate(flows):
+            groups.setdefault(float(flow), []).append(lane)
+        return sorted(groups.items())
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self, trace: WorkloadTrace) -> "list[RuntimeResult]":
+        """Execute one trace for every lane; results in lane order."""
+        config = self.config
+        voltage = config.operating_voltage_v
+        n_lanes = len(self)
+        self._controllers.reset()
+        self._governors.reset()
+
+        # Initial condition per lane: the steady state of the trace's
+        # first operating point at the lane's initial flow. Lanes at the
+        # same flow share the solve — the right-hand side is identical
+        # before any controller has acted.
+        first = trace.segments[0]
+        flows = self._quantize_flows(self._controllers.initial_flows_ml_min)
+        scales = np.ones(n_lanes)
+        states: "np.ndarray | None" = None
+        for flow, lanes in self._flow_groups(flows):
+            solver = self._solver(flow)
+            model = solver.model
+            model.set_power_map(
+                "active_si",
+                self._workload_map(first.workload)
+                * (first.utilization * 1.0),
+            )
+            steady = model.solve_steady()
+            if states is None:
+                states = np.empty((steady.temperatures_k.size, n_lanes))
+            for lane in lanes:
+                states[:, lane] = steady.temperatures_k
+        assert states is not None
+
+        lane_samples: "list[list[RuntimeSample]]" = [[] for _ in range(n_lanes)]
+        throttled = np.zeros(n_lanes, dtype=bool)
+        peaks = np.zeros(n_lanes)
+        nets = np.zeros(n_lanes)
+        have_observation = False
+        for t_start, step_dt, segment in trace.iter_steps(config.control_dt_s):
+            if have_observation:
+                scales = self._governors.scale_commands(peaks, nets)
+                throttled = self._governors.throttled
+                flows = self._quantize_flows(
+                    self._controllers.flow_commands(peaks, step_dt)
+                )
+
+            base_map = self._workload_map(segment.workload)
+            time_s = t_start + step_dt
+            currents = np.zeros(n_lanes)
+            mean_coolants_c = np.zeros(n_lanes)
+            pumpings = np.zeros(n_lanes)
+            for flow, lanes in self._flow_groups(flows):
+                solver = self._solver(flow)
+                model = solver.model
+                model._build_system()  # materialize the source-free base RHS
+                _, base_rhs = model._structure
+                span_field = model._field("active_si")
+                span = slice(
+                    span_field.offset,
+                    span_field.offset + config.nx * config.ny,
+                )
+                rhs_columns = np.repeat(base_rhs[:, None], len(lanes), axis=1)
+                for k, lane in enumerate(lanes):
+                    power = base_map * (segment.utilization * scales[lane])
+                    rhs_columns[span, k] += power.ravel()
+                advanced = solver.step_columns(
+                    states[:, lanes], rhs_columns, step_dt
+                )
+                states[:, lanes] = advanced
+
+                cosim_config = self._cosim_config(flow)
+                surface = surface_for(cosim_config)
+                pumpings[lanes] = self._pumping_w(flow)
+                solutions = [
+                    _lane_solution(model, advanced, k)
+                    for k in range(len(lanes))
+                ]
+                lane_temps = [
+                    group_coolant_temperatures(solution, cosim_config)
+                    for solution in solutions
+                ]
+                # Prefill: march all lanes' missing node curves as one
+                # batch before the scalar per-lane lookups below.
+                surface.warm_nodes(np.concatenate(lane_temps))
+                for k, lane in enumerate(lanes):
+                    solution = solutions[k]
+                    currents[lane] = float(
+                        surface.currents_at(lane_temps[k], voltage).sum()
+                    )
+                    fluid = solution.field("channels", "fluid")
+                    mean_coolants_c[lane] = float(fluid.mean()) - 273.15
+                    peaks[lane] = solution.peak_celsius
+
+            currents = self._reservoirs.step(currents, step_dt)
+            socs = self._reservoirs.state_of_charge
+            for lane in range(n_lanes):
+                current = float(currents[lane])
+                generated = current * voltage
+                pumping = float(pumpings[lane])
+                net = generated - pumping
+                nets[lane] = net
+                peak_c = float(peaks[lane])
+                lane_samples[lane].append(RuntimeSample(
+                    time_s=time_s,
+                    step_dt_s=step_dt,
+                    workload=segment.workload,
+                    utilization=segment.utilization,
+                    activity_scale=float(scales[lane]),
+                    flow_ml_min=float(flows[lane]),
+                    peak_temperature_c=peak_c,
+                    mean_coolant_c=float(mean_coolants_c[lane]),
+                    array_current_a=current,
+                    generated_w=generated,
+                    pumping_w=pumping,
+                    net_w=net,
+                    state_of_charge=float(socs[lane]),
+                    throttled=bool(throttled[lane]),
+                    violation=peak_c > config.temperature_limit_c,
+                ))
+            have_observation = True
+
+        results = []
+        for lane in range(n_lanes):
+            if not math.isfinite(lane_samples[lane][-1].peak_temperature_c):
+                raise ConfigurationError(
+                    "runtime trajectory diverged (non-finite peak temperature)"
+                )
+            results.append(RuntimeResult(
+                trace_name=trace.name, samples=tuple(lane_samples[lane])
+            ))
+        return results
+
+
+def _lane_solution(model, columns: np.ndarray, k: int):
+    """One lane's state column as a scalar-identical thermal solution.
+
+    Copied contiguous first so the sampling reductions (channel-group
+    means, the peak) see the exact memory layout the scalar engine's
+    1-D solves produce — numpy's pairwise sums can round differently on
+    strided views, and bit-identity is the contract here.
+    """
+    from repro.thermal.solver import ThermalSolution
+
+    return ThermalSolution(
+        temperatures_k=np.ascontiguousarray(columns[:, k]), model=model
+    )

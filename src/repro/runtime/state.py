@@ -17,8 +17,12 @@ marks the state depleted (generation stops), instead of raising mid-run.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.constants import FARADAY
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, OperatingPointError
 from repro.flowcell.recirculation import ElectrolyteReservoir, RecirculationLoop
 
 
@@ -129,3 +133,137 @@ class ElectrolyteState:
         if requested_c >= usable_c:
             self._depleted = True
         return drawn_c / dt_s
+
+
+class ElectrolyteStateArray:
+    """Reservoir state-of-charge for many runtime lanes, as arrays.
+
+    Snapshots a batch of (optional) :class:`ElectrolyteState` lanes into
+    per-tank concentration arrays and advances them all with one
+    vectorized pass of the scalar :meth:`ElectrolyteState.step`
+    arithmetic per control interval. Every expression — the usable-charge
+    margin, the ``(1 - 1e-12)`` exact-supply cap (the PR 5 ulp fix, in
+    array form), the drawn-current round trip through the loop's
+    ``charge = current * dt`` — keeps the scalar's operation order, so
+    lane trajectories are bit-identical to stepping each scalar state
+    alone, depletion flags included.
+
+    Lanes passed as ``None`` have no reservoir: their current passes
+    through unchanged and their SOC reads nan, matching the scalar
+    engine's ``reservoir=None`` behaviour. The scalar states are only
+    read at construction; afterwards the arrays are the source of truth.
+    """
+
+    #: Tank axis order: anolyte (fuel side), catholyte (oxidant side).
+    _TANKS = ("anolyte_tank", "catholyte_tank")
+
+    def __init__(self, states: "Sequence[ElectrolyteState | None]") -> None:
+        if not states:
+            raise ConfigurationError("need at least one reservoir lane")
+        self._has_reservoir = np.array(
+            [state is not None for state in states], dtype=bool
+        )
+        n_lanes = len(states)
+        n_tanks = len(self._TANKS)
+        # Placeholder tanks for reservoir-less lanes: one mole of a
+        # half-charged single-electron couple in a unit volume. Never
+        # drawn from (the has-reservoir mask gates every update); they
+        # only keep the array expressions finite.
+        self._conc_ox = np.full((n_tanks, n_lanes), 0.5)
+        self._conc_red = np.full((n_tanks, n_lanes), 0.5)
+        self._electrons_f = np.full((n_tanks, n_lanes), FARADAY)
+        self._volumes_m3 = np.ones((n_tanks, n_lanes))
+        self._is_fuel = np.array([[True], [False]]).repeat(n_lanes, axis=1)
+        self._min_socs = np.zeros(n_lanes)
+        self._depleted = np.zeros(n_lanes, dtype=bool)
+        for lane, state in enumerate(states):
+            if state is None:
+                continue
+            self._min_socs[lane] = state.min_soc
+            self._depleted[lane] = state.depleted
+            for t, name in enumerate(self._TANKS):
+                tank = getattr(state.loop, name)
+                self._conc_ox[t, lane] = tank.conc_ox
+                self._conc_red[t, lane] = tank.conc_red
+                self._electrons_f[t, lane] = (
+                    tank.electrolyte.couple.electrons * FARADAY
+                )
+                self._volumes_m3[t, lane] = tank.volume_m3
+
+    def __len__(self) -> int:
+        return self._min_socs.size
+
+    @property
+    def has_reservoir(self) -> np.ndarray:
+        """Per-lane boolean: which lanes track a reservoir at all."""
+        return self._has_reservoir.copy()
+
+    @property
+    def depleted(self) -> np.ndarray:
+        """Per-lane boolean: which lanes exhausted their SOC window."""
+        return self._depleted.copy()
+
+    def _tank_socs(self) -> np.ndarray:
+        """(n_tanks, n_lanes) charged-species fractions."""
+        charged = np.where(self._is_fuel, self._conc_red, self._conc_ox)
+        return charged / (self._conc_ox + self._conc_red)
+
+    @property
+    def state_of_charge(self) -> np.ndarray:
+        """Per-lane system SOC (weaker tank governs; nan without tanks)."""
+        socs = self._tank_socs().min(axis=0)
+        return np.where(self._has_reservoir, socs, np.nan)
+
+    def usable_charge_c(self) -> np.ndarray:
+        """Per-lane charge deliverable before the SOC floor [C]."""
+        totals = self._conc_ox + self._conc_red
+        margins = np.maximum(0.0, self._tank_socs() - self._min_socs)
+        n_f_v = self._electrons_f * self._volumes_m3
+        return (margins * totals * n_f_v).min(axis=0)
+
+    def step(self, currents_a: np.ndarray, dt_s: float) -> np.ndarray:
+        """Advance every lane one step; returns the sustained currents [A].
+
+        Reservoir lanes clamp to the usable charge and flip depleted when
+        the request crosses the floor (after which they sustain zero);
+        reservoir-less lanes pass their current through unchanged.
+        """
+        if dt_s <= 0.0:
+            raise ConfigurationError(f"dt must be > 0, got {dt_s}")
+        currents_a = np.asarray(currents_a, dtype=float)
+        if np.any(self._has_reservoir & (currents_a < 0.0)):
+            raise ConfigurationError("discharge currents must be >= 0")
+        active = self._has_reservoir & ~self._depleted & (currents_a > 0.0)
+        requested_c = currents_a * dt_s
+        usable_c = self.usable_charge_c()
+        charged = np.where(self._is_fuel, self._conc_red, self._conc_ox)
+        deliverable_c = (
+            self._electrons_f * charged * self._volumes_m3
+        ).min(axis=0)
+        exact_supply_c = (1.0 - 1e-12) * deliverable_c
+        drawn_c = np.minimum(
+            np.minimum(requested_c, usable_c), exact_supply_c
+        )
+        # The scalar path hands the loop a *current* and the loop turns
+        # it back into a charge; replay that round trip so the terminal
+        # draw rounds identically.
+        drawn_a = drawn_c / dt_s
+        charges_c = drawn_a * dt_s
+        apply = active & (drawn_c > 0.0)
+        deltas = np.where(
+            apply, charges_c / (self._electrons_f * self._volumes_m3), 0.0
+        )
+        signs = np.where(self._is_fuel, -1.0, 1.0)
+        new_red = self._conc_red + signs * deltas
+        new_ox = self._conc_ox - signs * deltas
+        if np.any(apply & ((new_red < 0.0) | (new_ox < 0.0))):
+            raise OperatingPointError(
+                "reservoir exhausted: a lane's drawn charge exceeds the "
+                "charge available in its tanks"
+            )
+        self._conc_red = np.where(apply, new_red, self._conc_red)
+        self._conc_ox = np.where(apply, new_ox, self._conc_ox)
+        self._depleted |= active & (requested_c >= usable_c)
+        return np.where(
+            self._has_reservoir, np.where(active, drawn_a, 0.0), currents_a
+        )

@@ -363,19 +363,17 @@ def evaluate_cosim(spec: ScenarioSpec) -> "dict[str, float]":
     }
 
 
-@register_evaluator("transient")
-def evaluate_transient(spec: ScenarioSpec) -> "dict[str, float]":
-    """Utilization-step response: ``utilization_before`` -> ``utilization``.
+def transient_cosim_config(spec: ScenarioSpec):
+    """The ``transient`` evaluator's co-sim configuration for one spec.
 
-    Runs the transient co-simulation over ``step_duration_s`` sampled at
-    ``step_dt_s`` and reduces the trajectory to scalar metrics. The group
-    curves come from the shared polarization surface, so a sweep across
-    inlet temperatures or step sizes at one flow rate builds each curve
-    only once per worker process.
+    The single definition of how a scenario maps onto a
+    :class:`~repro.cosim.coupling.CosimConfig`, shared with the vectorized
+    backend's batch kernel so both paths query the same shared
+    polarization surface and thermal family.
     """
-    from repro.cosim import CosimConfig, TransientCosim
+    from repro.cosim import CosimConfig
 
-    config = CosimConfig(
+    return CosimConfig(
         total_flow_ml_min=spec.total_flow_ml_min,
         inlet_temperature_k=spec.inlet_temperature_k,
         operating_voltage_v=spec.operating_voltage_v,
@@ -383,13 +381,17 @@ def evaluate_transient(spec: ScenarioSpec) -> "dict[str, float]":
         ny=spec.ny,
         n_channel_groups=11,
     )
-    cosim = TransientCosim(config)
-    samples = cosim.run_step_response(
-        spec.utilization_before,
-        spec.utilization,
-        duration_s=spec.step_duration_s,
-        dt_s=spec.step_dt_s,
-    )
+
+
+def transient_metrics(samples) -> "dict[str, float]":
+    """Reduce one step-response trajectory to the ``transient`` metrics.
+
+    Shared between :func:`evaluate_transient` and the vectorized batch
+    kernel, so the two paths apply the identical trajectory reduction
+    (swings, settling detection) to whatever samples they produced.
+    """
+    from repro.cosim import TransientCosim
+
     first, last = samples[0], samples[-1]
     return {
         "initial_peak_c": first.peak_temperature_c,
@@ -401,6 +403,66 @@ def evaluate_transient(spec: ScenarioSpec) -> "dict[str, float]":
         "settling_time_s": TransientCosim.settling_time_s(samples),
         "n_samples": float(len(samples)),
     }
+
+
+@register_evaluator("transient")
+def evaluate_transient(spec: ScenarioSpec) -> "dict[str, float]":
+    """Utilization-step response: ``utilization_before`` -> ``utilization``.
+
+    Runs the transient co-simulation over ``step_duration_s`` sampled at
+    ``step_dt_s`` and reduces the trajectory to scalar metrics. The group
+    curves come from the shared polarization surface, so a sweep across
+    inlet temperatures or step sizes at one flow rate builds each curve
+    only once per worker process.
+    """
+    from repro.cosim import TransientCosim
+
+    cosim = TransientCosim(transient_cosim_config(spec))
+    samples = cosim.run_step_response(
+        spec.utilization_before,
+        spec.utilization,
+        duration_s=spec.step_duration_s,
+        dt_s=spec.step_dt_s,
+    )
+    return transient_metrics(samples)
+
+
+def runtime_scenario_parts(spec: ScenarioSpec):
+    """``(trace, controller, governor, reservoir, config)`` of one
+    runtime scenario.
+
+    The single definition of how a spec wires up the closed loop, shared
+    between :func:`evaluate_runtime` (which runs one scalar engine) and
+    the vectorized backend's batch kernel (which mounts the same parts as
+    lanes of a :class:`~repro.runtime.engine.BatchedRuntimeEngine`), so
+    the two paths cannot disagree about gains, governors or reservoirs.
+    """
+    from repro.runtime import (
+        ElectrolyteState,
+        FixedFlow,
+        PIDFlowController,
+        RuntimeConfig,
+        ThrottleGovernor,
+        standard_trace,
+    )
+
+    trace = standard_trace(spec.trace, seed=spec.trace_seed)
+    if spec.controller == "fixed":
+        controller = FixedFlow(spec.total_flow_ml_min)
+    else:
+        controller = PIDFlowController(
+            kp=spec.pid_kp,
+            ki=spec.pid_ki,
+            initial_flow_ml_min=spec.total_flow_ml_min,
+        )
+    config = RuntimeConfig(
+        inlet_temperature_k=spec.inlet_temperature_k,
+        operating_voltage_v=spec.operating_voltage_v,
+        nx=spec.nx,
+        ny=spec.ny,
+        pump_efficiency=spec.pump_efficiency,
+    )
+    return trace, controller, ThrottleGovernor(), ElectrolyteState(), config
 
 
 @register_evaluator("runtime")
@@ -417,36 +479,13 @@ def evaluate_runtime(spec: ScenarioSpec) -> "dict[str, float]":
     case-study electrolyte reservoirs, so the KPIs include throttling
     and state-of-charge alongside the energy balance.
     """
-    from repro.runtime import (
-        ElectrolyteState,
-        FixedFlow,
-        PIDFlowController,
-        RuntimeConfig,
-        RuntimeEngine,
-        ThrottleGovernor,
-        standard_trace,
-    )
+    from repro.runtime import RuntimeEngine
 
-    trace = standard_trace(spec.trace, seed=spec.trace_seed)
-    if spec.controller == "fixed":
-        controller = FixedFlow(spec.total_flow_ml_min)
-    else:
-        controller = PIDFlowController(
-            kp=spec.pid_kp,
-            ki=spec.pid_ki,
-            initial_flow_ml_min=spec.total_flow_ml_min,
-        )
+    trace, controller, governor, reservoir, config = runtime_scenario_parts(
+        spec
+    )
     engine = RuntimeEngine(
-        controller,
-        governor=ThrottleGovernor(),
-        reservoir=ElectrolyteState(),
-        config=RuntimeConfig(
-            inlet_temperature_k=spec.inlet_temperature_k,
-            operating_voltage_v=spec.operating_voltage_v,
-            nx=spec.nx,
-            ny=spec.ny,
-            pump_efficiency=spec.pump_efficiency,
-        ),
+        controller, governor=governor, reservoir=reservoir, config=config
     )
     return engine.run(trace).kpis()
 

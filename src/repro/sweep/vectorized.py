@@ -16,17 +16,30 @@ but shares the expensive physics across the batch:
   use (``operating_point_metrics`` and friends in
   :mod:`repro.sweep.evaluators`), so the two paths cannot drift.
 
-Kernels exist for the evaluator families whose cost is dominated by
-those shared pieces (``operating_point``, ``geometry``, ``vrm``,
-``workload``) plus a ``runtime`` kernel that pre-warms the shared
-per-quantized-flow thermal models before the (inherently sequential)
-closed-loop trajectories run. Other evaluators fall back to the scalar
-path inside :class:`~repro.sweep.backends.VectorizedBackend`.
+Kernels exist for the steady evaluator families whose cost is dominated
+by those shared pieces (``operating_point``, ``geometry``, ``vrm``,
+``workload``, ``fleet_chip``) and for the dynamic ones:
+
+- ``transient`` marches whole step-response sweeps in lockstep through
+  :func:`repro.cosim.batch.batched_step_responses` — one thermal model
+  per (flow, inlet, mesh) family, scenario states stacked as multi-RHS
+  columns of the family's exact backward-Euler factorizations;
+- ``runtime`` mounts every scenario of a (trace, raster, inlet) group as
+  a lane of :class:`~repro.runtime.engine.BatchedRuntimeEngine`:
+  controller/governor state advances as lane vectors, reservoir SOC as
+  arrays, and lanes commanding the same quantized flow share one
+  multi-column thermal step per control interval.
+
+Other evaluators fall back to the scalar path inside
+:class:`~repro.sweep.backends.VectorizedBackend`.
 
 Equivalence contract: batched metrics match the scalar evaluators within
 ``EQUIVALENCE_RTOL`` (dominated by the anchored GMRES residual, orders of
-magnitude tighter in practice); ``tests/sweep/test_backends.py`` pins it
-for every preset.
+magnitude tighter in practice); the dynamic kernels are stricter still —
+bit-identical to the scalar trajectories, because their floats feed
+discontinuous decisions (flow quantization, governor hysteresis,
+settling-band exits) where closeness would not survive.
+``tests/sweep/test_backends.py`` pins it for every preset.
 """
 
 from __future__ import annotations
@@ -36,10 +49,12 @@ from typing import Callable, Dict, Sequence
 import numpy as np
 
 from repro.sweep.evaluators import (
-    evaluate_spec,
     geometry_cell,
     geometry_metrics,
     operating_point_metrics,
+    runtime_scenario_parts,
+    transient_cosim_config,
+    transient_metrics,
     vrm_metrics,
     workload_metrics,
     workload_thermal_model,
@@ -307,27 +322,77 @@ def batch_workload(
     ]
 
 
+def batch_transient(
+    specs: "Sequence[ScenarioSpec]",
+) -> "list[dict[str, float]]":
+    """Batched ``transient``: step responses marched in lockstep.
+
+    Scenarios map onto :class:`repro.cosim.batch.StepResponseCase` via
+    the scalar evaluator's own config helper, march together through
+    :func:`repro.cosim.batch.batched_step_responses` (shared models,
+    stacked state columns, the exact scalar factorizations), and reduce
+    through the scalar ``transient_metrics`` — so the kernel's results
+    are bit-identical to the serial path, settling times included.
+    """
+    from repro.cosim.batch import StepResponseCase, batched_step_responses
+
+    cases = [
+        StepResponseCase(
+            config=transient_cosim_config(spec),
+            utilization_before=spec.utilization_before,
+            utilization_after=spec.utilization,
+            duration_s=spec.step_duration_s,
+            dt_s=spec.step_dt_s,
+        )
+        for spec in specs
+    ]
+    trajectories = batched_step_responses(cases)
+    return [transient_metrics(samples) for samples in trajectories]
+
+
 def batch_runtime(
     specs: "Sequence[ScenarioSpec]",
 ) -> "list[dict[str, float]]":
-    """Batched ``runtime``: warm the shared models, then run the traces.
+    """Batched ``runtime``: one lockstep engine per trace group.
 
-    Closed-loop trajectories are sequential by nature, so the batch win
-    is in the warm-up: the per-quantized-flow thermal models (sparse
-    assembly + transient factorization) are pre-built once for the union
-    of starting flows and shared by every engine through the
-    process-wide model store of :mod:`repro.runtime.engine`.
+    Scenarios sharing ``(trace, seed, inlet, raster, voltage, pump
+    efficiency)`` advance through every control interval together as
+    lanes of a :class:`~repro.runtime.engine.BatchedRuntimeEngine`: the
+    loop is wired from the scalar evaluator's own
+    ``runtime_scenario_parts``, controller/governor/SOC state updates as
+    lane arrays, and lanes at the same quantized flow share one
+    multi-column backward-Euler solve per step — while each lane's KPI
+    trajectory stays bit-identical to its scalar engine.
     """
-    from repro.runtime.engine import RuntimeConfig, RuntimeEngine, warm_up
+    from repro.runtime.engine import BatchedRuntimeEngine
 
-    by_config: "dict[tuple, set[float]]" = {}
-    for spec in specs:
-        key = (spec.inlet_temperature_k, spec.nx, spec.ny)
-        by_config.setdefault(key, set()).add(spec.total_flow_ml_min)
-    for (inlet, nx, ny), flows in by_config.items():
-        config = RuntimeConfig(inlet_temperature_k=inlet, nx=nx, ny=ny)
-        warm_up(config, sorted(flows))
-    return [evaluate_spec(spec) for spec in specs]
+    groups: "dict[tuple, list[int]]" = {}
+    for index, spec in enumerate(specs):
+        key = (
+            spec.trace,
+            spec.trace_seed,
+            spec.inlet_temperature_k,
+            spec.nx,
+            spec.ny,
+            spec.operating_voltage_v,
+            spec.pump_efficiency,
+        )
+        groups.setdefault(key, []).append(index)
+
+    results: "list[dict[str, float] | None]" = [None] * len(specs)
+    for key in sorted(groups):
+        indices = groups[key]
+        parts = [runtime_scenario_parts(specs[index]) for index in indices]
+        trace, _, _, _, config = parts[0]
+        engine = BatchedRuntimeEngine(
+            controllers=[part[1] for part in parts],
+            governors=[part[2] for part in parts],
+            reservoirs=[part[3] for part in parts],
+            config=config,
+        )
+        for index, result in zip(indices, engine.run(trace)):
+            results[index] = result.kpis()
+    return [metrics for metrics in results if metrics is not None]
 
 
 def batch_fleet_chip(
@@ -354,6 +419,7 @@ BATCH_KERNELS: "Dict[str, BatchKernel]" = {
     "geometry": batch_geometry,
     "vrm": batch_vrm,
     "workload": batch_workload,
+    "transient": batch_transient,
     "runtime": batch_runtime,
     "fleet_chip": batch_fleet_chip,
 }

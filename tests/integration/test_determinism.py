@@ -77,6 +77,56 @@ class TestRuntimeExportDeterminism:
         assert exports["first"] == exports["workers"]
 
 
+#: The dynamic scenarios evaluated through the batched kernels: a seeded
+#: stochastic runtime trace plus a transient step response, mixed so one
+#: export exercises both kernels.
+VECTORIZED_SPECS = [
+    ScenarioSpec(
+        evaluator="transient",
+        nx=22,
+        ny=11,
+        utilization_before=0.1,
+        utilization=1.0,
+    ),
+    ScenarioSpec(
+        evaluator="runtime", trace="bursty", trace_seed=7, nx=22, ny=11
+    ),
+]
+
+
+class TestVectorizedExportDeterminism:
+    """Byte-determinism of the batched transient/runtime kernels.
+
+    The vectorized backend reorders the work (model families, lockstep
+    columns, surface prefills) but must not reorder or perturb the
+    records: two cold runs — and a run configured with a worker pool,
+    which the vectorized backend takes over — export identical bytes.
+    """
+
+    @pytest.fixture(scope="class")
+    def exports(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("vectorized-determinism")
+        artifacts = {}
+        for label, runner in (
+            ("first", SweepRunner(backend="vectorized")),
+            ("second", SweepRunner(backend="vectorized")),
+            ("workers", SweepRunner(backend="vectorized", n_workers=2)),
+        ):
+            results = runner.run(VECTORIZED_SPECS)
+            csv_path = root / f"{label}.csv"
+            json_path = root / f"{label}.json"
+            results.save_csv(csv_path)
+            results.save_json(json_path)
+            artifacts[label] = (read_bytes(csv_path), read_bytes(json_path))
+        return artifacts
+
+    def test_two_runs_byte_identical(self, exports):
+        assert exports["first"] == exports["second"]
+
+    def test_workers_1_vs_n_byte_identical(self, exports):
+        assert exports["first"] == exports["workers"]
+
+
 class TestOptExportDeterminism:
     @pytest.fixture(scope="class")
     def frontiers(self, tmp_path_factory):

@@ -14,7 +14,11 @@ regression in the physics or the evaluators surfaces in
 - the nominal point reproduces the paper's headline state: ~41-42 degC
   peak, ~6 A / ~6 W delivered at 1 V (cache demand met), ~+1.6 W net;
 - the 48 ml/min stress case is thermally infeasible at full load, which
-  is why the optimizer must not select it.
+  is why the optimizer must not select it;
+- the dynamic headlines (bench A14's idle-to-full step response, bench
+  A16's closed-loop-beats-fixed-flow result) reproduce through the
+  *vectorized* backend's batched transient/runtime kernels, so the fast
+  path is held to the same physics as the scalar engines.
 
 Grid and tolerances are fixed: these are regression pins, not physics
 assertions — move them only with a deliberate recalibration.
@@ -84,6 +88,94 @@ class TestFlowOptimumGoldens:
         """48 ml/min exceeds the junction limit at full load."""
         stress = golden_results[STRESS_FLOW_ML_MIN]
         assert stress["peak_temperature_c"] > TEMPERATURE_LIMIT_C
+
+
+#: Bench A14's step-response scenario (idle -> full load at the nominal
+#: flow, reduced raster) as a sweep spec, evaluated through the batched
+#: transient kernel.
+TRANSIENT_STEP_SPEC = ScenarioSpec(
+    evaluator="transient",
+    total_flow_ml_min=NOMINAL_FLOW_ML_MIN,
+    nx=22,
+    ny=11,
+    utilization_before=0.1,
+    utilization=1.0,
+    step_duration_s=0.5,
+    step_dt_s=0.05,
+)
+
+#: Step-response goldens on the pinned scenario: the trajectory settles
+#: in three control samples and lands at the reduced-raster full-load
+#: steady peak.
+GOLDEN_SETTLING_TIME_S = 0.15
+GOLDEN_STEP_FINAL_PEAK_C = 39.45
+GOLDEN_STEP_SWING_C = 11.34
+
+
+class TestTransientStepGoldens:
+    """Bench A14's trajectory headlines, pinned through the batched
+    transient kernel inside tier-1."""
+
+    @pytest.fixture(scope="class")
+    def step_metrics(self):
+        results = SweepRunner(backend="vectorized").run(
+            [TRANSIENT_STEP_SPEC]
+        )
+        return results[0].metrics
+
+    def test_settling_time(self, step_metrics):
+        """The ~100 ms thermal time constant settles the peak within
+        three 50 ms samples of the utilization step."""
+        assert step_metrics["settling_time_s"] == pytest.approx(
+            GOLDEN_SETTLING_TIME_S, abs=1e-9
+        )
+
+    def test_peak_temperature_step(self, step_metrics):
+        """Idle -> full load swings the peak by ~11.3 degC to ~39.5 degC
+        — comfortably under the limit at the nominal flow, which is why
+        the optimizer can afford to cut the flow so far."""
+        assert step_metrics["final_peak_c"] == pytest.approx(
+            GOLDEN_STEP_FINAL_PEAK_C, abs=0.1
+        )
+        assert step_metrics["peak_swing_c"] == pytest.approx(
+            GOLDEN_STEP_SWING_C, abs=0.1
+        )
+        assert step_metrics["final_peak_c"] < TEMPERATURE_LIMIT_C
+
+
+class TestRuntimeControlGoldens:
+    """Bench A16's closed-loop headline, asserted through the batched
+    runtime kernel: PID flow control beats the paper's fixed nominal
+    flow on net energy without violating the junction limit."""
+
+    @pytest.fixture(scope="class")
+    def control_metrics(self):
+        specs = [
+            ScenarioSpec(
+                evaluator="runtime",
+                trace="bursty",
+                controller=controller,
+                total_flow_ml_min=NOMINAL_FLOW_ML_MIN,
+                nx=22,
+                ny=11,
+            )
+            for controller in ("fixed", "pid")
+        ]
+        results = SweepRunner(backend="vectorized").run(specs)
+        return results[0].metrics, results[1].metrics
+
+    def test_pid_beats_fixed_nominal_on_net_energy(self, control_metrics):
+        fixed, pid = control_metrics
+        assert pid["net_energy_j"] > fixed["net_energy_j"]
+        assert pid["net_energy_j"] > 2.0 * fixed["net_energy_j"]
+
+    def test_pid_respects_the_junction_limit(self, control_metrics):
+        _, pid = control_metrics
+        assert pid["peak_temperature_c"] <= TEMPERATURE_LIMIT_C
+        assert pid["n_violations"] == 0.0
+        # The win comes from flow modulation, not chip throttling.
+        assert pid["throttled_time_fraction"] == 0.0
+        assert pid["mean_flow_ml_min"] < 0.5 * NOMINAL_FLOW_ML_MIN
 
 
 class TestNominalPointGoldens:

@@ -142,6 +142,45 @@ class TestCacheInterop:
         assert_equivalent(serial, vectorized, rtol=EQUIVALENCE_RTOL)
 
 
+class TestDynamicPresetCacheInterop:
+    """Cold/warm cache parity for the trajectory-valued presets.
+
+    The steady presets' cache contract is pinned above; these checks
+    extend it to the dynamic evaluators the batched kernels cover:
+    every backend performs the same cold-run misses, replays warm with
+    zero new evaluations, and reports identical hit/miss accounting.
+    """
+
+    @pytest.mark.parametrize("preset_name", ["transient", "runtime", "fleet"])
+    def test_cold_and_warm_parity_across_backends(self, preset_name):
+        specs = preset_scenarios(preset_name)
+        accounting = {}
+        cold_results = {}
+        for name in BACKEND_NAMES:
+            cache = SweepCache()
+            runner = SweepRunner(backend=name, cache=cache)
+            cold = runner.run(specs)
+            assert cache.misses == len(specs)
+            assert all(not result.from_cache for result in cold)
+            warm = runner.run(specs)
+            assert cache.misses == len(specs)  # zero new evaluations
+            assert all(result.from_cache for result in warm)
+            for computed, replayed in zip(cold, warm):
+                assert replayed.metrics == computed.metrics
+            accounting[name] = (cache.hits, cache.misses)
+            cold_results[name] = cold
+        assert accounting["serial"] == accounting["process"]
+        assert accounting["serial"] == accounting["vectorized"]
+        assert_equivalent(
+            cold_results["serial"], cold_results["process"], rtol=0.0
+        )
+        evaluator = specs[0].evaluator
+        rtol = EQUIVALENCE_RTOL if evaluator in BATCH_KERNELS else 0.0
+        assert_equivalent(
+            cold_results["serial"], cold_results["vectorized"], rtol=rtol
+        )
+
+
 class TestVectorizedCurveCache:
     def test_eviction_never_drops_the_current_working_set(self):
         """A batch whose flows overflow the cache bound must still return
