@@ -31,7 +31,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import artifact, emit
+from benchmarks.conftest import artifact, emit, obs_artifacts
 from repro.core.report import format_table
 from repro.sweep import (
     ProcessBackend,
@@ -114,6 +114,7 @@ def test_a17_backend_speedup(benchmark, preset_name):
         f"{preset_name}_speedup": process_s / vectorized_s,
         f"{preset_name}_worst_rel_dev": deviation,
     })
+    obs_artifacts(f"A17_{preset_name}")
     # Equivalence first: a fast wrong answer is not a speedup. Process
     # must match serial bit-for-bit (same pure functions); vectorized
     # within the documented tolerance.

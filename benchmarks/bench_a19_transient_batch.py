@@ -36,7 +36,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import artifact, emit
+from benchmarks.conftest import artifact, emit, obs_artifacts
 from repro.core.report import format_table
 from repro.cosim import PolarizationSurface
 from repro.runtime.engine import clear_model_store
@@ -127,6 +127,7 @@ def test_a19_dynamic_batch_speedup(benchmark, preset_name):
         f"{preset_name}_speedup": process_s / vectorized_s,
         f"{preset_name}_worst_rel_dev": deviation,
     })
+    obs_artifacts(f"A19_{preset_name}")
     # Equivalence first: a fast wrong answer is not a speedup. Process
     # must match serial bit-for-bit (same pure functions); the dynamic
     # kernels are designed bit-identical, asserted here at the documented

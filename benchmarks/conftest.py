@@ -36,31 +36,96 @@ def artifact(name: str, metrics: "dict[str, object]") -> Path:
     calls for the same bench (parametrized tests) merge into one file.
     The directory defaults to ``benchmarks/artifacts`` and is overridden
     with ``REPRO_BENCH_ARTIFACT_DIR``.
+
+    Metrics are kept in per-mode sets under ``metric_sets`` (``"full"``
+    and ``"smoke"``), so a full run merged over an earlier smoke run (or
+    vice versa) never mislabels numbers: each set carries only the mode
+    it was measured in. The top-level ``smoke``/``metrics`` keys mirror
+    the *current* call's mode for backward compatibility. When an
+    observability session is active (the autouse fixture below), its
+    metrics snapshot is embedded in the set as ``"obs"`` — the perf
+    trajectory carries cause data (cache hits, solver re-anchors, lane
+    grouping), not just ratios.
     """
     directory = Path(
         os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "benchmarks/artifacts")
     )
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name.upper()}.json"
-    merged: "dict[str, object]" = {}
+    mode = "smoke" if SMOKE else "full"
+    metric_sets: "dict[str, dict[str, object]]" = {}
     if path.is_file():
         try:
             loaded = json.loads(path.read_text())
         except ValueError:
             loaded = None
-        if isinstance(loaded, dict) and isinstance(
-            loaded.get("metrics"), dict
-        ):
-            merged.update(loaded["metrics"])
+        if isinstance(loaded, dict):
+            sets = loaded.get("metric_sets")
+            if isinstance(sets, dict):
+                for set_mode, values in sets.items():
+                    if isinstance(values, dict):
+                        metric_sets[set_mode] = dict(values)
+            elif isinstance(loaded.get("metrics"), dict):
+                # Legacy single-set file: its numbers belong to whatever
+                # mode its (global) smoke flag recorded.
+                legacy_mode = "smoke" if loaded.get("smoke") else "full"
+                metric_sets[legacy_mode] = dict(loaded["metrics"])
+    merged = metric_sets.setdefault(mode, {})
     for key, value in metrics.items():
         merged[key] = (
             float(value)
             if isinstance(value, (int, float)) and not isinstance(value, bool)
             else value
         )
-    payload = {"name": name.upper(), "smoke": SMOKE, "metrics": merged}
+    from repro import obs
+
+    if obs.enabled():
+        merged["obs"] = obs.snapshot()
+    payload = {
+        "name": name.upper(),
+        "smoke": SMOKE,
+        "metrics": merged,
+        "metric_sets": metric_sets,
+    }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def obs_artifacts(name: str) -> "tuple[Path, Path] | None":
+    """Write the active observability session's span trace + metrics
+    snapshot into the artifact directory as ``<NAME>_trace.json`` /
+    ``<NAME>_metrics.json`` (CI uploads them with the bench JSON). A
+    no-op returning ``None`` when no session is recording.
+    """
+    from repro import obs
+
+    session = obs.session()
+    if session is None:
+        return None
+    directory = Path(
+        os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "benchmarks/artifacts")
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    return (
+        session.write_trace(directory / f"{name.upper()}_trace.json"),
+        session.write_metrics(directory / f"{name.upper()}_metrics.json"),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _obs_bench_session():
+    """Fresh observability session around every bench test.
+
+    Gives :func:`artifact` a per-test metrics snapshot to embed, with
+    clean attribution (no bleed between benches). Benches that manage
+    their own sessions (A20's overhead measurement) stop this one first
+    via the public ``obs.stop()`` and are left untouched.
+    """
+    from repro import obs
+
+    obs.start()
+    yield
+    obs.stop()
 
 
 @pytest.fixture(scope="session")

@@ -23,6 +23,11 @@ electric power for the die it cools. Subpackages:
   (objectives/constraints, Pareto frontiers, adaptive refinement).
 - :mod:`repro.runtime` — trace-driven closed-loop runtime engine (flow
   control + thermal throttling over workload traces).
+- :mod:`repro.fleet` — rack-scale multi-chip co-design under a shared
+  coolant supply.
+- :mod:`repro.obs` — span tracing, counters and solver health metrics
+  across the sweep/opt/runtime/fleet stack (off by default; Chrome
+  trace + metrics snapshot export).
 """
 
 __version__ = "1.1.0"

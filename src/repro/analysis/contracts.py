@@ -17,6 +17,9 @@ and flag drift:
   evaluators nothing references.
 - **RPL305** — preset names missing from the CLI's own help text or
   from ``docs/cli.md``.
+- **RPL306** — observability signal names (``obs.inc``/``obs.span``/
+  ``obs.observe``/``obs.gauge`` literals) drifting from the signal
+  catalog in ``docs/observability.md`` or from ``obs.COUNTER_NAMES``.
 
 Everything degrades gracefully: a check whose anchor file is missing
 (e.g. linting a single module) is skipped, not failed.
@@ -25,6 +28,7 @@ Everything degrades gracefully: a check whose anchor file is missing
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -44,6 +48,16 @@ RPL304 = register_rule(
 RPL305 = register_rule(
     "RPL305", "preset name missing from CLI help or docs tables"
 )
+RPL306 = register_rule(
+    "RPL306", "observability signal name drift between code and docs catalog"
+)
+
+#: The facade methods whose first literal argument is a signal name.
+_OBS_METHODS = frozenset({"inc", "observe", "gauge", "span"})
+
+#: A dotted lowercase signal name (``thermal.steady.reanchors``) — what
+#: distinguishes catalog entries from other backticked code in the docs.
+_OBS_NAME = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+)+$")
 
 #: Fields that are structurally special: ``label`` is cosmetic metadata,
 #: ``evaluator`` is the dispatch key itself.
@@ -109,6 +123,11 @@ class _Surfaces:
     )
     #: (attribute, path, line) reads on ScenarioSpec-annotated params.
     attribute_reads: "list[tuple[str, str, int]]" = field(
+        default_factory=list
+    )
+    #: (method, signal name, warm?, path, line) for every literal-named
+    #: ``obs.<method>(...)`` call site.
+    obs_calls: "list[tuple[str, str, bool, str, int]]" = field(
         default_factory=list
     )
 
@@ -221,7 +240,33 @@ class _FileCollector(ast.NodeVisitor):
                     self.surfaces.referenced_evaluators.setdefault(
                         value, (self.path, keyword.value.lineno)
                     )
+        self._collect_obs_call(node)
         self.generic_visit(node)
+
+    def _collect_obs_call(self, node: ast.Call) -> None:
+        """``obs.inc("name", ...)`` and friends: the literal first
+        argument is a signal name under the RPL306 catalog contract."""
+        function = node.func
+        if not (
+            isinstance(function, ast.Attribute)
+            and function.attr in _OBS_METHODS
+            and isinstance(function.value, ast.Name)
+            and function.value.id == "obs"
+            and node.args
+        ):
+            return
+        signal = _constant_str(node.args[0])
+        if signal is None:
+            return
+        warm = any(
+            keyword.arg == "warm"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+            for keyword in node.keywords
+        )
+        self.surfaces.obs_calls.append(
+            (function.attr, signal, warm, self.path, node.lineno)
+        )
 
     def _collect_field_keywords(self, node: ast.Call, name: str) -> None:
         if name == "from_dict":
@@ -309,6 +354,108 @@ def _joined_str_text(node: ast.AST) -> str:
     if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
         return _joined_str_text(node.left) + _joined_str_text(node.right)
     return ""
+
+
+def _obs_catalog(docs_path: Path) -> "dict[str, int] | None":
+    """Signal names tabled in the docs catalog: the first backticked
+    dotted name of every table row under a heading containing
+    "catalog", until the next heading at that level or higher. Returns
+    ``None`` when the docs file is absent (skip, not fail)."""
+    if not docs_path.is_file():
+        return None
+    names: "dict[str, int]" = {}
+    in_catalog = False
+    catalog_level = 0
+    for lineno, line in enumerate(docs_path.read_text().splitlines(), 1):
+        heading = re.match(r"^(#{1,6})\s+(.*)", line)
+        if heading is not None:
+            level = len(heading.group(1))
+            if "catalog" in heading.group(2).lower():
+                in_catalog, catalog_level = True, level
+            elif in_catalog and level <= catalog_level:
+                in_catalog = False
+            continue
+        if not in_catalog or not line.lstrip().startswith("|"):
+            continue
+        cells = line.split("|")
+        if len(cells) < 2:
+            continue
+        backticked = re.match(r"^`([^`]+)`$", cells[1].strip())
+        if backticked is not None and _OBS_NAME.match(backticked.group(1)):
+            names.setdefault(backticked.group(1), lineno)
+    return names
+
+
+def _counter_names_declaration(package: Path) -> "tuple[set[str], int]":
+    """The literal contents (and line) of ``obs.COUNTER_NAMES``."""
+    tree = _parse(package / "obs" / "__init__.py")
+    if tree is None:
+        return set(), 1
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(target, ast.Name)
+                and target.id == "COUNTER_NAMES"
+                for target in node.targets
+            )
+            and isinstance(node.value, ast.Tuple)
+        ):
+            names = set()
+            for element in node.value.elts:
+                value = _constant_str(element)
+                if value is not None:
+                    names.add(value)
+            return names, node.lineno
+    return set(), 1
+
+
+def _obs_signal_findings(
+    package: Path, root: Path, surfaces: _Surfaces,
+    shown: "dict[Path, str]",
+) -> "Iterable[Finding]":
+    """RPL306: code signal names vs the docs catalog (both directions),
+    plus ``obs.COUNTER_NAMES`` vs the non-warm ``obs.inc`` sites."""
+    catalog = _obs_catalog(root / "docs" / "observability.md")
+    if catalog is None or not surfaces.obs_calls:
+        return
+    first_site: "dict[str, tuple[str, int]]" = {}
+    for _, signal, _, path, line in surfaces.obs_calls:
+        first_site.setdefault(signal, (path, line))
+    for signal, (path, line) in sorted(first_site.items()):
+        if signal not in catalog:
+            yield Finding(
+                path, line, 1, RPL306,
+                f"observability signal {signal!r} is missing from the "
+                "docs/observability.md catalog",
+            )
+    for signal, line in sorted(catalog.items()):
+        if signal not in first_site:
+            yield Finding(
+                "docs/observability.md", line, 1, RPL306,
+                f"catalog signal {signal!r} has no obs.inc/observe/"
+                "gauge/span call site in the code",
+            )
+    declared, declaration_line = _counter_names_declaration(package)
+    obs_init = package / "obs" / "__init__.py"
+    obs_init_shown = shown.get(obs_init, obs_init.as_posix())
+    incremented = {
+        signal
+        for method, signal, warm, _, _ in surfaces.obs_calls
+        if method == "inc" and not warm
+    }
+    for signal in sorted(incremented - declared):
+        yield Finding(
+            obs_init_shown, declaration_line, 1, RPL306,
+            f"counter {signal!r} is incremented but missing from "
+            "obs.COUNTER_NAMES (its zero-preload)",
+        )
+    for signal in sorted(declared - incremented):
+        yield Finding(
+            obs_init_shown, declaration_line, 1, RPL306,
+            f"obs.COUNTER_NAMES lists {signal!r} but no non-warm "
+            "obs.inc call site uses it",
+        )
 
 
 def _preset_names(path: Path, constructor: str) -> "set[str]":
@@ -442,6 +589,9 @@ def contract_findings(
                     f"{family} preset(s) {', '.join(missing)} not "
                     "documented here",
                 ))
+
+    # RPL306 — observability signal names vs the docs catalog.
+    findings.extend(_obs_signal_findings(package, root, surfaces, shown))
 
     # Respect suppression comments in the files findings point into.
     suppressions: "dict[str, Suppressions]" = {}

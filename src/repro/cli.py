@@ -17,7 +17,10 @@ Gives the reproduction a zero-code entry point:
   and CSV/JSON time series);
 - ``fleet``   — rack-scale multi-chip co-design through
   :mod:`repro.fleet` (shared coolant supply split across a fleet under
-  a traffic schedule; fleet KPIs and per-chip CSV/JSON records).
+  a traffic schedule; fleet KPIs and per-chip CSV/JSON records);
+- ``obs``     — render the span traces / metrics snapshots the engine
+  commands write with ``--trace`` / ``--metrics`` (see
+  :mod:`repro.obs` and ``docs/observability.md``).
 
 ``sweep --list`` and ``optimize --list`` print the available presets;
 ``repro --version`` prints the package version. Every command is a thin
@@ -158,6 +161,57 @@ def _print_presets(presets: "dict[str, object]") -> None:
         print(f"{name:<{width}}  {presets[name].description}")
 
 
+def _obs_start(args: argparse.Namespace) -> None:
+    """Start an observability session if ``--trace``/``--metrics`` asked
+    for one (``trace_out`` is resolved by each handler — see
+    :func:`_split_workload_trace`)."""
+    if getattr(args, "trace_out", None) or getattr(args, "metrics", None):
+        from repro import obs
+
+        obs.start()
+
+
+def _obs_finish(args: argparse.Namespace) -> None:
+    """Write the session's exports and print where they landed."""
+    from repro import obs
+
+    session = obs.stop()
+    if session is None:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        print(f"Chrome trace written to {session.write_trace(trace_out)}")
+    if getattr(args, "metrics", None):
+        print(f"metrics written to {session.write_metrics(args.metrics)}")
+
+
+def _split_workload_trace(
+    value: str, default: str
+) -> "tuple[str, str | None]":
+    """Resolve the dual-use ``--trace`` of ``runtime``/``fleet``.
+
+    Those commands already use ``--trace NAME`` to pick the workload or
+    traffic trace, while the observability flags spell the span-trace
+    output ``--trace out.json`` everywhere. A value ending in ``.json``
+    is unambiguous — no trace *name* ends that way — so it selects the
+    Chrome-trace output path and the workload trace falls back to the
+    command's default.
+    """
+    if value.endswith(".json"):
+        return default, value
+    return value, None
+
+
+def _print_cache_stats(stats: "dict[str, int]") -> None:
+    from repro.core.report import format_table
+
+    print("\ncache statistics:")
+    print(format_table(
+        ["outcome", "count"],
+        [[name, stats[name]] for name in ("hits", "misses", "corrupt")],
+    ))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import SweepCache, SweepRunner, get_preset
     from repro.sweep.presets import PRESETS
@@ -176,23 +230,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=SweepCache(directory=args.cache_dir),
         backend=args.backend,
     )
-    results = runner.run(specs)
+    _obs_start(args)
+    try:
+        results = runner.run(specs)
 
-    print(
-        f"sweep '{preset.name}' — {preset.description}\n"
-        f"{len(specs)} scenarios through the {preset.base.evaluator!r} "
-        f"evaluator ({runner.backend.name} backend, {args.jobs} "
-        f"worker{'s' if args.jobs != 1 else ''})\n"
-    )
-    print(results.table())
-    print(
-        f"\nevaluated in {results.total_elapsed_s:.2f} s of worker time "
-        f"({runner.cache.hits} cache hit(s), {runner.cache.misses} miss(es))"
-    )
-    if args.csv:
-        print(f"CSV written to {results.save_csv(args.csv)}")
-    if args.json:
-        print(f"JSON written to {results.save_json(args.json)}")
+        print(
+            f"sweep '{preset.name}' — {preset.description}\n"
+            f"{len(specs)} scenarios through the {preset.base.evaluator!r} "
+            f"evaluator ({runner.backend.name} backend, {args.jobs} "
+            f"worker{'s' if args.jobs != 1 else ''})\n"
+        )
+        print(results.table())
+        print(
+            f"\nevaluated in {results.total_elapsed_s:.2f} s of worker time "
+            f"({runner.cache.hits} cache hit(s), "
+            f"{runner.cache.misses} miss(es))"
+        )
+        if args.cache_stats:
+            _print_cache_stats(runner.cache.stats())
+        if args.csv:
+            print(f"CSV written to {results.save_csv(args.csv)}")
+        if args.json:
+            print(f"JSON written to {results.save_json(args.json)}")
+    finally:
+        _obs_finish(args)
     return 0
 
 
@@ -215,7 +276,13 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         cache=SweepCache(directory=args.cache_dir),
         backend=args.backend,
     )
-    result = preset.optimizer(runner=runner, max_rounds=args.rounds).run()
+    _obs_start(args)
+    try:
+        result = preset.optimizer(
+            runner=runner, max_rounds=args.rounds
+        ).run()
+    finally:
+        _obs_finish(args)
 
     problem = preset.problem
     print(
@@ -300,30 +367,35 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         standard_trace,
     )
 
-    trace = standard_trace(args.trace, seed=args.seed)
+    trace_name, args.trace_out = _split_workload_trace(args.trace, "bursty")
+    trace = standard_trace(trace_name, seed=args.seed)
     if args.controller == "fixed":
         controller = FixedFlow(args.flow)
     else:
         controller = PIDFlowController(
             kp=args.kp, ki=args.ki, initial_flow_ml_min=args.flow
         )
-    if args.backend == "vectorized":
-        from repro.runtime import BatchedRuntimeEngine
+    _obs_start(args)
+    try:
+        if args.backend == "vectorized":
+            from repro.runtime import BatchedRuntimeEngine
 
-        result = BatchedRuntimeEngine(
-            [controller],
-            governors=[ThrottleGovernor()],
-            reservoirs=[ElectrolyteState()],
-            config=RuntimeConfig(),
-        ).run(trace)[0]
-    else:
-        engine = RuntimeEngine(
-            controller,
-            governor=ThrottleGovernor(),
-            reservoir=ElectrolyteState(),
-            config=RuntimeConfig(),
-        )
-        result = engine.run(trace)
+            result = BatchedRuntimeEngine(
+                [controller],
+                governors=[ThrottleGovernor()],
+                reservoirs=[ElectrolyteState()],
+                config=RuntimeConfig(),
+            ).run(trace)[0]
+        else:
+            engine = RuntimeEngine(
+                controller,
+                governor=ThrottleGovernor(),
+                reservoir=ElectrolyteState(),
+                config=RuntimeConfig(),
+            )
+            result = engine.run(trace)
+    finally:
+        _obs_finish(args)
 
     print(
         f"runtime '{trace.name}' — {len(trace.segments)} segment(s), "
@@ -347,11 +419,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import FleetEngine, FleetSpec
     from repro.sweep import SweepCache, SweepRunner
 
+    trace_name, args.trace_out = _split_workload_trace(
+        args.trace, "diurnal-bursty"
+    )
     spec = FleetSpec(
         n_chips=args.chips,
         policy=args.policy,
         supply_per_chip_ml_min=args.supply,
-        trace=args.trace,
+        trace=trace_name,
         trace_seed=args.seed,
         skew=args.skew,
     )
@@ -360,7 +435,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         cache=SweepCache(directory=args.cache_dir),
         backend=args.backend,
     )
-    result = FleetEngine(spec, runner=runner).run()
+    _obs_start(args)
+    try:
+        result = FleetEngine(spec, runner=runner).run()
+    finally:
+        _obs_finish(args)
 
     print(
         f"fleet — {spec.n_chips} chip(s), {spec.policy!r} allocation, "
@@ -382,6 +461,32 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"per-chip CSV written to {result.save_csv(args.csv)}")
     if args.json:
         print(f"per-chip JSON written to {result.save_json(args.json)}")
+    return 0
+
+
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.report import format_metrics_summary, format_trace_summary
+
+    if args.trace_in is None and args.metrics_in is None:
+        print("repro obs summarize: error: nothing to summarize — pass "
+              "--trace and/or --metrics", file=sys.stderr)
+        return 2
+    shown = False
+    if args.trace_in is not None:
+        with open(args.trace_in, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        print(f"spans ({args.trace_in}):")
+        print(format_trace_summary(payload, limit=args.top))
+        shown = True
+    if args.metrics_in is not None:
+        with open(args.metrics_in, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        if shown:
+            print()
+        print(f"metrics ({args.metrics_in}):")
+        print(format_metrics_summary(snapshot))
     return 0
 
 
@@ -457,6 +562,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--json", default=None, metavar="PATH", help="export records as JSON"
     )
+    sweep.add_argument(
+        "--cache-stats", action="store_true", dest="cache_stats",
+        help="print the cache hits/misses/corrupt table after the run",
+    )
+    sweep.add_argument(
+        "--trace", dest="trace_out", default=None, metavar="PATH",
+        help="write a Chrome-format span trace of the run to PATH "
+        "(see docs/observability.md)",
+    )
+    sweep.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the observability metrics snapshot to PATH as JSON",
+    )
     sweep.set_defaults(handler=_cmd_sweep)
 
     optimize = commands.add_parser(
@@ -503,6 +621,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="export the Pareto frontier as JSON",
     )
+    optimize.add_argument(
+        "--trace", dest="trace_out", default=None, metavar="PATH",
+        help="write a Chrome-format span trace of the search to PATH "
+        "(see docs/observability.md)",
+    )
+    optimize.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the observability metrics snapshot to PATH as JSON",
+    )
     optimize.set_defaults(handler=_cmd_optimize)
 
     runtime = commands.add_parser(
@@ -518,7 +645,8 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument(
         "--trace", default="bursty", metavar="NAME",
         help="workload trace: step, ramp, square, bursty or diurnal "
-        "(default: bursty)",
+        "(default: bursty); a value ending in .json instead writes a "
+        "Chrome-format span trace there (see docs/observability.md)",
     )
     runtime.add_argument(
         "--controller", default="pid", choices=("fixed", "pid"),
@@ -555,6 +683,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="export the per-step time series as JSON",
     )
+    runtime.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the observability metrics snapshot to PATH as JSON",
+    )
     runtime.set_defaults(handler=_cmd_runtime)
 
     fleet = commands.add_parser(
@@ -583,7 +715,9 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--trace", default="diurnal-bursty", metavar="NAME",
         help="traffic trace: step, ramp, square, bursty, diurnal or "
-        "diurnal-bursty (default: diurnal-bursty)",
+        "diurnal-bursty (default: diurnal-bursty); a value ending in "
+        ".json instead writes a Chrome-format span trace there "
+        "(see docs/observability.md)",
     )
     fleet.add_argument(
         "--seed", type=int, default=7, metavar="N",
@@ -619,7 +753,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="export the per-chip records as JSON",
     )
+    fleet.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the observability metrics snapshot to PATH as JSON",
+    )
     fleet.set_defaults(handler=_cmd_fleet)
+
+    obs_parser = commands.add_parser(
+        "obs",
+        help="observability reports over --trace/--metrics exports "
+        "(see docs/observability.md)",
+    )
+    obs_commands = obs_parser.add_subparsers(
+        dest="obs_command", required=True, metavar="action"
+    )
+    summarize = obs_commands.add_parser(
+        "summarize",
+        help="top spans by self-time and the counter table",
+        description="Summarize the JSON files written by the "
+        "--trace/--metrics flags of sweep, optimize, runtime and fleet.",
+    )
+    summarize.add_argument(
+        "--trace", dest="trace_in", default=None, metavar="PATH",
+        help="Chrome-format span trace to summarize",
+    )
+    summarize.add_argument(
+        "--metrics", dest="metrics_in", default=None, metavar="PATH",
+        help="metrics snapshot to summarize",
+    )
+    summarize.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many spans to show, ranked by self-time (default: 10)",
+    )
+    summarize.set_defaults(handler=_cmd_obs_summarize)
 
     lint = commands.add_parser(
         "lint",

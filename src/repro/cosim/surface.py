@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.electrochem.polarization import PolarizationCurve
 from repro.errors import ConfigurationError
 
@@ -140,6 +141,10 @@ class PolarizationSurface:
         if curve is None:
             from repro.casestudy.power7plus import build_array_cell
 
+            # Warm counter: whether a node is already built depends on
+            # what earlier runs left in the shared surface.
+            obs.inc("surface.node_builds", warm=True)
+
             cell = build_array_cell(
                 total_flow_ml_min=self.total_flow_ml_min,
                 temperature_k=float(self.node_temperatures_k[node]),
@@ -177,6 +182,8 @@ class PolarizationSurface:
         missing = [int(node) for node in needed if int(node) not in self._curves]
         if not missing:
             return 0
+        obs.inc("surface.nodes_warmed", len(missing), warm=True)
+        obs.observe("surface.warm_nodes.size", len(missing), warm=True)
         from repro.casestudy.power7plus import build_array_cell
         from repro.flowcell.batch import batched_polarization_curves
 
@@ -245,6 +252,7 @@ class PolarizationSurface:
     def _interpolate(self, temperatures_k, node_value) -> np.ndarray:
         """Shape-preserving grid interpolation of a per-(node, frac) value."""
         temps = np.atleast_1d(np.asarray(temperatures_k, dtype=float))
+        obs.inc("surface.interpolations", temps.size)
         index, frac = self._bracket(temps)
         flat_index = index.ravel()
         flat_frac = frac.ravel()

@@ -29,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.casestudy.tables import PAPER_ANCHORS, TABLE2
 from repro.core.metrics import DEFAULT_TEMPERATURE_LIMIT_C
 from repro.errors import ConfigurationError
@@ -319,14 +320,24 @@ class FleetEngine:
     def chip_table(self) -> ChipTable:
         """The per-chip KPI table (built once per engine, memoized by the
         runner's cache across engines)."""
-        return ChipTable.build(
-            flows_ml_min=self.spec.supply().flow_levels(),
-            utilizations=self.spec.utilization_levels(),
-            base=self.spec.table_base_spec(),
-            runner=self.runner,
-            trip_temperature_c=self.spec.trip_temperature_c,
-            release_temperature_c=self.spec.release_temperature_c,
+        with obs.span(
+            "fleet.table.build",
+            flows=len(self.spec.supply().flow_levels()),
+            utilizations=len(self.spec.utilization_levels()),
+        ):
+            table = ChipTable.build(
+                flows_ml_min=self.spec.supply().flow_levels(),
+                utilizations=self.spec.utilization_levels(),
+                base=self.spec.table_base_spec(),
+                runner=self.runner,
+                trip_temperature_c=self.spec.trip_temperature_c,
+                release_temperature_c=self.spec.release_temperature_c,
+            )
+        obs.gauge(
+            "fleet.table.points",
+            len(table.flows_ml_min) * len(table.utilizations),
         )
+        return table
 
     def run(
         self,
@@ -340,6 +351,18 @@ class FleetEngine:
         (``(n_steps,)``) to drive an explicit schedule instead (tests,
         what-if studies).
         """
+        if not obs.enabled():
+            return self._run(utilization, durations_s)
+        with obs.span(
+            "fleet.run", policy=self.spec.policy, chips=self.spec.n_chips
+        ):
+            return self._run(utilization, durations_s)
+
+    def _run(
+        self,
+        utilization: "np.ndarray | None" = None,
+        durations_s: "np.ndarray | None" = None,
+    ) -> FleetResult:
         spec = self.spec
         if utilization is None:
             if durations_s is not None:
@@ -384,6 +407,7 @@ class FleetEngine:
         fairness_time = 0.0
         uniformity_time = 0.0
 
+        obs.inc("fleet.steps", durations.size)
         for step, dt in enumerate(durations):
             requested = utils[step]
             flows = allocate(spec.policy, supply, requested, table=table)

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.microfluidics.manifold import FlowDistribution
 from repro.units import m3s_from_ml_per_min
@@ -206,16 +207,19 @@ def proportional_allocation(
     flows = supply.min_flow_ml_min + surplus * weights
     # Hand back capped excess to the uncapped chips, weight-proportional;
     # terminates because each pass strictly grows the capped set.
+    passes = 0
     for _ in range(n):
         over = flows > supply.max_flow_ml_min
         if not over.any():
             break
+        passes += 1
         excess = float((flows[over] - supply.max_flow_ml_min).sum())
         flows[over] = supply.max_flow_ml_min
         free = ~over
         if not free.any() or excess <= 0.0:
             break
         flows[free] += excess * weights[free] / float(weights[free].sum())
+    obs.inc("fleet.allocation.iterations", passes)
     return _conserve(
         flows,
         supply.total_flow_ml_min,
@@ -286,6 +290,7 @@ def greedy_allocation(
         cnt[np.arange(n_groups), needed] += counts
         quanta -= total_needed
     else:
+        serve_iterations = 0
         while quanta > 0:
             candidates = np.where(cnt[:, :-1] > 0, shed[:, :-1], -np.inf)
             flat = int(np.argmax(candidates))
@@ -295,6 +300,8 @@ def greedy_allocation(
             cnt[g, level] -= 1
             cnt[g, level + 1] += 1
             quanta -= 1
+            serve_iterations += 1
+        obs.inc("fleet.allocation.iterations", serve_iterations)
 
     # Phase B: park the remaining budget where the marginal effective net
     # power loses least (gains are usually negative past the optimum —
@@ -305,6 +312,7 @@ def greedy_allocation(
          np.full((n_groups, 1), -np.inf)],
         axis=1,
     )
+    park_iterations = 0
     while quanta > 0:
         candidates = np.where(cnt > 0, gain, -np.inf)
         flat = int(np.argmax(candidates))
@@ -314,6 +322,8 @@ def greedy_allocation(
         cnt[g, level] -= 1
         cnt[g, level + 1] += 1
         quanta -= 1
+        park_iterations += 1
+    obs.inc("fleet.allocation.iterations", park_iterations)
 
     # Materialize per-chip levels: within each utilization group, earlier
     # chip indices take the higher levels (deterministic, KPI-neutral).

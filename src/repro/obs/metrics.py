@@ -1,0 +1,157 @@
+"""Named counters, gauges, and histograms with a deterministic contract.
+
+A :class:`MetricsRegistry` is the in-process store behind the
+``repro.obs`` facade. Its snapshot is a plain ``dict`` split into
+sections with different stability guarantees:
+
+``counters`` / ``histograms``
+    Deterministic: integer counts derived only from the work itself
+    (scenarios evaluated, control steps run, solver columns factored).
+    Byte-stable across runs and across ``--jobs 1`` vs ``--jobs N`` —
+    the determinism suite serialises exactly these two sections.
+
+``warm``
+    Counts that depend on process cache warmth (polarization-surface
+    node builds, thermal-model store misses). Real signal for perf
+    debugging, but legitimately different between a cold and a warm
+    process, so they live outside the deterministic contract.
+
+``gauges``
+    Last-write-wins observations (lane counts, table sizes). Excluded
+    from the byte-stability contract because "last" depends on
+    scheduling order under a worker pool.
+
+``timings``
+    Wall-clock aggregates fed by the span tracer (``perf_counter``
+    deltas). Never deterministic; determinism tests mask this section.
+
+Counter and histogram values are integers so that merging worker
+snapshots is exact addition — no float-summation order sensitivity.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Snapshot sections covered by the byte-stability contract.
+DETERMINISTIC_SECTIONS: "tuple[str, ...]" = ("counters", "histograms")
+
+
+def _merge_histogram(
+    into: "dict[str, dict[str, int]]", name: str, sample: "dict[str, int]"
+) -> None:
+    bucket = into.get(name)
+    if bucket is None:
+        into[name] = dict(sample)
+        return
+    bucket["count"] += sample["count"]
+    bucket["total"] += sample["total"]
+    bucket["min"] = min(bucket["min"], sample["min"])
+    bucket["max"] = max(bucket["max"], sample["max"])
+
+
+class MetricsRegistry:
+    """Mutable metric store; one per observability session."""
+
+    def __init__(self) -> None:
+        self.counters: "dict[str, int]" = {}
+        self.histograms: "dict[str, dict[str, int]]" = {}
+        self.warm_counters: "dict[str, int]" = {}
+        self.warm_histograms: "dict[str, dict[str, int]]" = {}
+        self.gauges: "dict[str, float]" = {}
+        self.timings: "dict[str, dict[str, float]]" = {}
+        #: Total mutation calls received — the A20 overhead bench uses
+        #: this to bound the instrumentation call volume of a workload.
+        self.operations = 0
+
+    def inc(self, name: str, value: int = 1, warm: bool = False) -> None:
+        """Add ``value`` to the counter ``name``."""
+        self.operations += 1
+        store = self.warm_counters if warm else self.counters
+        store[name] = store.get(name, 0) + int(value)
+
+    def observe(self, name: str, value: int, warm: bool = False) -> None:
+        """Record one integer sample into the histogram ``name``."""
+        self.operations += 1
+        sample = int(value)
+        store = self.warm_histograms if warm else self.histograms
+        _merge_histogram(
+            store,
+            name,
+            {"count": 1, "total": sample, "min": sample, "max": sample},
+        )
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self.operations += 1
+        self.gauges[name] = value
+
+    def timing(self, name: str, duration_s: float) -> None:
+        """Accumulate one wall-clock duration under ``name``."""
+        self.operations += 1
+        bucket = self.timings.get(name)
+        if bucket is None:
+            self.timings[name] = {"count": 1, "total_s": duration_s}
+        else:
+            bucket["count"] += 1
+            bucket["total_s"] += duration_s
+
+    def snapshot(self) -> "dict[str, Any]":
+        """A deep-copied, JSON-ready view of every section."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                name: dict(fields)
+                for name, fields in self.histograms.items()
+            },
+            "gauges": dict(self.gauges),
+            "warm": {
+                "counters": dict(self.warm_counters),
+                "histograms": {
+                    name: dict(fields)
+                    for name, fields in self.warm_histograms.items()
+                },
+            },
+            "timings": {
+                name: dict(fields) for name, fields in self.timings.items()
+            },
+        }
+
+    def merge(self, snapshot: "dict[str, Any]") -> None:
+        """Fold a worker's :meth:`snapshot` into this registry.
+
+        Counters and histogram fields add (min-of-min / max-of-max);
+        gauges are last-write-wins; timings add. Merging is commutative
+        for the deterministic sections, so parent-side merge order does
+        not affect the byte-stability contract.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, sample in snapshot.get("histograms", {}).items():
+            _merge_histogram(self.histograms, name, sample)
+        warm = snapshot.get("warm", {})
+        for name, value in warm.get("counters", {}).items():
+            self.warm_counters[name] = (
+                self.warm_counters.get(name, 0) + value
+            )
+        for name, sample in warm.get("histograms", {}).items():
+            _merge_histogram(self.warm_histograms, name, sample)
+        self.gauges.update(snapshot.get("gauges", {}))
+        for name, fields in snapshot.get("timings", {}).items():
+            bucket = self.timings.get(name)
+            if bucket is None:
+                self.timings[name] = dict(fields)
+            else:
+                bucket["count"] += fields["count"]
+                bucket["total_s"] += fields["total_s"]
+
+
+def deterministic_sections(snapshot: "dict[str, Any]") -> "dict[str, Any]":
+    """The byte-stable subset of a snapshot (counters + histograms)."""
+    return {key: snapshot[key] for key in DETERMINISTIC_SECTIONS}
+
+
+def dumps(snapshot: "dict[str, Any]") -> str:
+    """Serialise a snapshot byte-stably (sorted keys, 2-space indent)."""
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"

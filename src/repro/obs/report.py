@@ -1,0 +1,140 @@
+"""Text reports over exported traces and metric snapshots.
+
+Backs ``repro obs summarize``: given the JSON files written by
+``--trace`` / ``--metrics``, print the top spans by *self time* (span
+duration minus time attributed to its children — where the work
+actually happened) and a counter table. Pure functions over plain
+dicts, so the report also works on snapshots embedded in bench
+artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def span_records(trace_payload: "Any") -> "list[dict[str, Any]]":
+    """Normalise a trace export into plain span records.
+
+    Accepts either the Chrome trace-event payload written by
+    ``--trace`` (``{"traceEvents": [...]}``, microsecond fields, span
+    ids in ``args``) or a raw :meth:`~repro.obs.trace.Tracer.spans`
+    list, and returns records with ``id``/``parent``/``name``/
+    ``duration_s`` keys.
+    """
+    if isinstance(trace_payload, dict) and "traceEvents" in trace_payload:
+        records = []
+        for event in trace_payload["traceEvents"]:
+            args = event.get("args", {})
+            records.append(
+                {
+                    "id": args.get("id"),
+                    "parent": args.get("parent"),
+                    "name": event["name"],
+                    "duration_s": event.get("dur", 0.0) / 1e6,
+                }
+            )
+        return records
+    return list(trace_payload)
+
+
+def self_times(spans: "list[dict[str, Any]]") -> "dict[str, dict[str, float]]":
+    """Aggregate spans per name: call count, total and self wall time."""
+    child_time_s: "dict[Any, float]" = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None:
+            child_time_s[parent] = (
+                child_time_s.get(parent, 0.0) + record["duration_s"]
+            )
+    totals: "dict[str, dict[str, float]]" = {}
+    for record in spans:
+        row = totals.setdefault(
+            record["name"], {"count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        row["count"] += 1
+        row["total_s"] += record["duration_s"]
+        row["self_s"] += max(
+            0.0, record["duration_s"] - child_time_s.get(record["id"], 0.0)
+        )
+    return totals
+
+
+def format_trace_summary(trace_payload: "Any", limit: int = 10) -> str:
+    """Top spans by self time, one aligned row per span name."""
+    totals = self_times(span_records(trace_payload))
+    if not totals:
+        return "no spans recorded"
+    ranked = sorted(
+        totals.items(), key=lambda item: (-item[1]["self_s"], item[0])
+    )[:limit]
+    width = max(len(name) for name, _ in ranked)
+    lines = [
+        f"{'span':<{width}}  {'count':>7}  {'self_s':>10}  {'total_s':>10}"
+    ]
+    for name, row in ranked:
+        lines.append(
+            f"{name:<{width}}  {row['count']:>7.0f}"
+            f"  {row['self_s']:>10.4f}  {row['total_s']:>10.4f}"
+        )
+    return "\n".join(lines)
+
+
+def format_metrics_summary(snapshot: "dict[str, Any]") -> str:
+    """Counter / histogram / gauge tables from a metrics snapshot."""
+    lines: "list[str]" = []
+
+    def table(title: str, rows: "list[tuple[str, str]]") -> None:
+        if not rows:
+            return
+        if lines:
+            lines.append("")
+        width = max(len(name) for name, _ in rows)
+        lines.append(title)
+        for name, rendered in rows:
+            lines.append(f"  {name:<{width}}  {rendered}")
+
+    warm = snapshot.get("warm", {})
+    counter_rows = [
+        (name, str(value))
+        for name, value in sorted(snapshot.get("counters", {}).items())
+    ] + [
+        (f"{name} (warm)", str(value))
+        for name, value in sorted(warm.get("counters", {}).items())
+    ]
+    table("counters", counter_rows)
+
+    histogram_rows = [
+        (
+            name,
+            f"count={fields['count']} total={fields['total']}"
+            f" min={fields['min']} max={fields['max']}",
+        )
+        for name, fields in sorted(snapshot.get("histograms", {}).items())
+    ] + [
+        (
+            f"{name} (warm)",
+            f"count={fields['count']} total={fields['total']}"
+            f" min={fields['min']} max={fields['max']}",
+        )
+        for name, fields in sorted(warm.get("histograms", {}).items())
+    ]
+    table("histograms", histogram_rows)
+
+    table(
+        "gauges",
+        [
+            (name, f"{value:g}")
+            for name, value in sorted(snapshot.get("gauges", {}).items())
+        ],
+    )
+    table(
+        "timings",
+        [
+            (name, f"count={fields['count']:.0f} total_s={fields['total_s']:.4f}")
+            for name, fields in sorted(snapshot.get("timings", {}).items())
+        ],
+    )
+    if not lines:
+        return "no metrics recorded"
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Context-local span tracer with Chrome-trace export.
+
+Spans form a parent-linked tree: :meth:`Tracer.span` is a context
+manager that pushes its span id onto a :mod:`contextvars` stack, so the
+nesting follows the call structure even across threads or async tasks.
+Durations come from ``perf_counter`` (elapsed telemetry; legal under
+RPL102) and are also folded into the session's
+:class:`~repro.obs.metrics.MetricsRegistry` as per-name timings, which
+keeps aggregate wall-time available even after the bounded span list
+starts dropping records.
+
+Exports:
+
+* :meth:`Tracer.spans` — plain JSON-ready span dicts
+  (``{"id", "parent", "name", "attrs", "start_s", "duration_s"}``).
+* :meth:`Tracer.chrome_trace` — the Chrome ``chrome://tracing`` /
+  Perfetto event format (complete ``"ph": "X"`` events, microsecond
+  timestamps relative to tracer start), loadable in ``ui.perfetto.dev``.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from time import perf_counter
+from typing import Any, Optional
+
+#: Context-local stack of open span ids; a tuple so tokens restore
+#: cleanly and concurrent tasks never see each other's frames.
+_STACK: "ContextVar[tuple[int, ...]]" = ContextVar(
+    "repro_obs_stack", default=()
+)
+
+#: Hard cap on retained span records. Aggregate timings keep
+#: accumulating past the cap; only the per-span records stop.
+MAX_SPANS = 100_000
+
+
+class _SpanHandle:
+    """Context manager for one span; records itself on exit."""
+
+    __slots__ = (
+        "_tracer", "name", "attrs", "span_id", "parent_id",
+        "_begin_s", "_token",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", name: str, attrs: "dict[str, Any]"
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = tracer._allocate_id()
+        stack = _STACK.get()
+        self.parent_id: "Optional[int]" = stack[-1] if stack else None
+        self._token = _STACK.set(stack + (self.span_id,))
+        self._begin_s = perf_counter()
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        duration_s = perf_counter() - self._begin_s
+        _STACK.reset(self._token)
+        self._tracer._record(self, duration_s)
+
+
+class Tracer:
+    """Collects a bounded, parent-linked span tree for one session."""
+
+    def __init__(self) -> None:
+        self._origin_s = perf_counter()
+        self._records: "list[dict[str, Any]]" = []
+        self._next_id = 0
+        #: Spans discarded after :data:`MAX_SPANS` was reached.
+        self.dropped = 0
+        #: Optional registry receiving per-name duration aggregates.
+        self.registry: "Any" = None
+
+    def _allocate_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def span(self, name: str, attrs: "dict[str, Any]") -> _SpanHandle:
+        return _SpanHandle(self, name, attrs)
+
+    def _record(self, handle: _SpanHandle, duration_s: float) -> None:
+        if self.registry is not None:
+            self.registry.timing(handle.name, duration_s)
+        if len(self._records) >= MAX_SPANS:
+            self.dropped += 1
+            return
+        self._records.append(
+            {
+                "id": handle.span_id,
+                "parent": handle.parent_id,
+                "name": handle.name,
+                "attrs": handle.attrs,
+                "start_s": handle._begin_s - self._origin_s,
+                "duration_s": duration_s,
+            }
+        )
+
+    def spans(self) -> "list[dict[str, Any]]":
+        """Recorded spans as JSON-ready dicts (exit order)."""
+        return [dict(record) for record in self._records]
+
+    def chrome_trace(self) -> "dict[str, Any]":
+        """The span tree in Chrome trace-event format.
+
+        Complete events (``"ph": "X"``) with microsecond ``ts``/``dur``
+        relative to tracer start; span/parent ids ride along in
+        ``args`` so the tree is recoverable from the export.
+        """
+        events = []
+        for record in self._records:
+            args = dict(record["attrs"])
+            args["id"] = record["id"]
+            if record["parent"] is not None:
+                args["parent"] = record["parent"]
+            events.append(
+                {
+                    "name": record["name"],
+                    "ph": "X",
+                    "ts": record["start_s"] * 1e6,
+                    "dur": record["duration_s"] * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.opt.objective import Constraint, Objective
 from repro.opt.pareto import pareto_front
@@ -305,7 +306,13 @@ class Optimizer:
             specs = grid.expand(problem.base)
             misses_before = self.runner.cache.misses
             hits_before = self.runner.cache.hits
-            results = self.runner.run(specs)
+            with obs.span("opt.round", index=index, scenarios=len(specs)):
+                results = self.runner.run(specs)
+            obs.inc("opt.rounds")
+            obs.inc(
+                "opt.evaluations", self.runner.cache.misses - misses_before
+            )
+            obs.inc("opt.cache_hits", self.runner.cache.hits - hits_before)
             for result in results:
                 evaluated.setdefault(result.spec.cache_key(), result)
 

@@ -36,6 +36,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.casestudy.tables import PAPER_ANCHORS, TABLE2
 from repro.cosim.coupling import CosimConfig, group_coolant_temperatures
 from repro.cosim.surface import surface_for
@@ -73,6 +74,10 @@ def shared_thermal_model(
     model = _MODEL_STORE.pop(key, None)
     if model is None:
         from repro.casestudy.power7plus import build_thermal_model
+
+        # Warm counter: build counts depend on what earlier runs left in
+        # the store, so they sit outside the deterministic contract.
+        obs.inc("runtime.model_builds", warm=True)
 
         model = build_thermal_model(
             nx=key[2], ny=key[3],
@@ -416,6 +421,22 @@ class RuntimeEngine:
 
     def run(self, trace: WorkloadTrace) -> RuntimeResult:
         """Execute one trace end to end; returns the closed-loop result."""
+        if not obs.enabled():
+            return self._run(trace)
+        with obs.span("runtime.run", trace=trace.name, lanes=1):
+            result = self._run(trace)
+        obs.inc("runtime.steps", len(result.samples))
+        obs.inc(
+            "runtime.throttled_steps",
+            sum(1 for s in result.samples if s.throttled),
+        )
+        obs.inc(
+            "runtime.violation_steps",
+            sum(1 for s in result.samples if s.violation),
+        )
+        return result
+
+    def _run(self, trace: WorkloadTrace) -> RuntimeResult:
         config = self.config
         voltage = config.operating_voltage_v
         self.controller.reset()
@@ -448,19 +469,25 @@ class RuntimeEngine:
                 )
                 model = self._model(flow)
 
-            model.set_power_map(
-                "active_si",
-                self._workload_map(segment.workload)
-                * (segment.utilization * scale),
-            )
-            state = model.solve_transient(
-                duration_s=step_dt, dt_s=step_dt, initial=state
-            )
+            # One span per control step covering the physics (thermal
+            # advance + electrochemical lookup); controller bookkeeping
+            # is negligible next to the solves.
+            with obs.span("runtime.step"):
+                model.set_power_map(
+                    "active_si",
+                    self._workload_map(segment.workload)
+                    * (segment.utilization * scale),
+                )
+                state = model.solve_transient(
+                    duration_s=step_dt, dt_s=step_dt, initial=state
+                )
 
-            cosim_config = self._cosim_config(flow)
-            group_temps = group_coolant_temperatures(state, cosim_config)
-            surface = surface_for(cosim_config)
-            current = float(surface.currents_at(group_temps, voltage).sum())
+                cosim_config = self._cosim_config(flow)
+                group_temps = group_coolant_temperatures(state, cosim_config)
+                surface = surface_for(cosim_config)
+                current = float(
+                    surface.currents_at(group_temps, voltage).sum()
+                )
 
             soc = float("nan")
             if self.reservoir is not None:
@@ -667,6 +694,25 @@ class BatchedRuntimeEngine:
 
     def run(self, trace: WorkloadTrace) -> "list[RuntimeResult]":
         """Execute one trace for every lane; results in lane order."""
+        if not obs.enabled():
+            return self._run(trace)
+        obs.gauge("runtime.lanes", len(self))
+        with obs.span("runtime.run", trace=trace.name, lanes=len(self)):
+            results = self._run(trace)
+        obs.inc(
+            "runtime.steps", sum(len(r.samples) for r in results)
+        )
+        obs.inc(
+            "runtime.throttled_steps",
+            sum(1 for r in results for s in r.samples if s.throttled),
+        )
+        obs.inc(
+            "runtime.violation_steps",
+            sum(1 for r in results for s in r.samples if s.violation),
+        )
+        return results
+
+    def _run(self, trace: WorkloadTrace) -> "list[RuntimeResult]":
         config = self.config
         voltage = config.operating_voltage_v
         n_lanes = len(self)
@@ -714,47 +760,56 @@ class BatchedRuntimeEngine:
             currents = np.zeros(n_lanes)
             mean_coolants_c = np.zeros(n_lanes)
             pumpings = np.zeros(n_lanes)
-            for flow, lanes in self._flow_groups(flows):
-                solver = self._solver(flow)
-                model = solver.model
-                model._build_system()  # materialize the source-free base RHS
-                _, base_rhs = model._structure
-                span_field = model._field("active_si")
-                span = slice(
-                    span_field.offset,
-                    span_field.offset + config.nx * config.ny,
-                )
-                rhs_columns = np.repeat(base_rhs[:, None], len(lanes), axis=1)
-                for k, lane in enumerate(lanes):
-                    power = base_map * (segment.utilization * scales[lane])
-                    rhs_columns[span, k] += power.ravel()
-                advanced = solver.step_columns(
-                    states[:, lanes], rhs_columns, step_dt
-                )
-                states[:, lanes] = advanced
-
-                cosim_config = self._cosim_config(flow)
-                surface = surface_for(cosim_config)
-                pumpings[lanes] = self._pumping_w(flow)
-                solutions = [
-                    _lane_solution(model, advanced, k)
-                    for k in range(len(lanes))
-                ]
-                lane_temps = [
-                    group_coolant_temperatures(solution, cosim_config)
-                    for solution in solutions
-                ]
-                # Prefill: march all lanes' missing node curves as one
-                # batch before the scalar per-lane lookups below.
-                surface.warm_nodes(np.concatenate(lane_temps))
-                for k, lane in enumerate(lanes):
-                    solution = solutions[k]
-                    currents[lane] = float(
-                        surface.currents_at(lane_temps[k], voltage).sum()
+            # One span per control step covering the physics (lockstep
+            # thermal advance + electrochemical lookups); the sample
+            # bookkeeping below is negligible next to the solves.
+            with obs.span("runtime.step", lanes=n_lanes):
+                for flow, lanes in self._flow_groups(flows):
+                    obs.observe("runtime.lane_group.size", len(lanes))
+                    solver = self._solver(flow)
+                    model = solver.model
+                    model._build_system()  # materialize the base RHS
+                    _, base_rhs = model._structure
+                    span_field = model._field("active_si")
+                    span = slice(
+                        span_field.offset,
+                        span_field.offset + config.nx * config.ny,
                     )
-                    fluid = solution.field("channels", "fluid")
-                    mean_coolants_c[lane] = float(fluid.mean()) - 273.15
-                    peaks[lane] = solution.peak_celsius
+                    rhs_columns = np.repeat(
+                        base_rhs[:, None], len(lanes), axis=1
+                    )
+                    for k, lane in enumerate(lanes):
+                        power = base_map * (
+                            segment.utilization * scales[lane]
+                        )
+                        rhs_columns[span, k] += power.ravel()
+                    advanced = solver.step_columns(
+                        states[:, lanes], rhs_columns, step_dt
+                    )
+                    states[:, lanes] = advanced
+
+                    cosim_config = self._cosim_config(flow)
+                    surface = surface_for(cosim_config)
+                    pumpings[lanes] = self._pumping_w(flow)
+                    solutions = [
+                        _lane_solution(model, advanced, k)
+                        for k in range(len(lanes))
+                    ]
+                    lane_temps = [
+                        group_coolant_temperatures(solution, cosim_config)
+                        for solution in solutions
+                    ]
+                    # Prefill: march all lanes' missing node curves as
+                    # one batch before the scalar per-lane lookups below.
+                    surface.warm_nodes(np.concatenate(lane_temps))
+                    for k, lane in enumerate(lanes):
+                        solution = solutions[k]
+                        currents[lane] = float(
+                            surface.currents_at(lane_temps[k], voltage).sum()
+                        )
+                        fluid = solution.field("channels", "fluid")
+                        mean_coolants_c[lane] = float(fluid.mean()) - 273.15
+                        peaks[lane] = solution.peak_celsius
 
             currents = self._reservoirs.step(currents, step_dt)
             socs = self._reservoirs.state_of_charge

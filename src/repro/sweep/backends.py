@@ -32,6 +32,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.sweep.evaluators import Evaluator
 from repro.sweep.spec import ScenarioSpec
@@ -56,8 +57,30 @@ def _timed_evaluate(
     """
     evaluator, spec = task
     start = time.perf_counter()
-    metrics = evaluator(spec)
+    with obs.span("sweep.evaluate", evaluator=spec.evaluator):
+        metrics = evaluator(spec)
+    obs.inc("sweep.evaluations")
     return metrics, time.perf_counter() - start
+
+
+def _observed_evaluate(
+    task: EvaluationTask,
+) -> "tuple[dict[str, float], float, dict[str, object]]":
+    """Worker-side evaluate that also returns a metrics snapshot.
+
+    Used by :class:`ProcessBackend` when an observability session is
+    active in the parent: each worker records into a fresh session of
+    its own and ships the mergeable snapshot back with the result (span
+    *records* stay worker-local; only metric aggregates merge).
+    Module-level for picklability, like :func:`_timed_evaluate`.
+    """
+    obs.start()
+    try:
+        metrics, elapsed = _timed_evaluate(task)
+    finally:
+        session = obs.stop()
+    assert session is not None
+    return metrics, elapsed, session.snapshot()
 
 
 class EvaluationBackend:
@@ -110,6 +133,19 @@ class ProcessBackend(EvaluationBackend):
         if self.n_workers > 1 and len(tasks) > 1:
             workers = min(self.n_workers, len(tasks))
             with ProcessPoolExecutor(max_workers=workers) as pool:
+                if obs.enabled():
+                    # Workers record into their own sessions and return
+                    # mergeable snapshots; merging in task order keeps
+                    # the parent's deterministic sections byte-stable
+                    # regardless of pool scheduling (merge is exact
+                    # integer addition, see repro.obs.metrics).
+                    observed = list(pool.map(_observed_evaluate, tasks))
+                    for _, _, worker_snapshot in observed:
+                        obs.merge(worker_snapshot)
+                    return [
+                        (metrics, elapsed)
+                        for metrics, elapsed, _ in observed
+                    ]
                 return list(pool.map(_timed_evaluate, tasks))
         return [_timed_evaluate(task) for task in tasks]
 
@@ -148,7 +184,10 @@ class VectorizedBackend(EvaluationBackend):
         for name, indices in groups.items():
             specs = [tasks[index][1] for index in indices]
             start = time.perf_counter()
-            metrics = BATCH_KERNELS[name](specs)
+            with obs.span("sweep.batch", evaluator=name, size=len(indices)):
+                metrics = BATCH_KERNELS[name](specs)
+            obs.observe("sweep.batch.size", len(indices))
+            obs.inc("sweep.evaluations", len(indices))
             share = (time.perf_counter() - start) / len(indices)
             for index, scenario_metrics in zip(indices, metrics):
                 results[index] = (scenario_metrics, share)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.sweep.backends import EvaluationBackend, get_backend
 from repro.sweep.evaluators import get_evaluator
@@ -303,6 +304,23 @@ class SweepRunner:
             specs = scenarios.expand()
         else:
             specs = list(scenarios)
+        if not obs.enabled():
+            return self._run_specs(specs)
+        before = self.cache.stats()
+        with obs.span(
+            "sweep.run", scenarios=len(specs), backend=self.backend.name
+        ):
+            results = self._run_specs(specs)
+        after = self.cache.stats()
+        # Deltas, not totals: a shared cache may carry counts from
+        # earlier runs. Always emitted (even when zero) so the counter
+        # set itself is identical across runs and worker counts.
+        obs.inc("sweep.cache.hits", after["hits"] - before["hits"])
+        obs.inc("sweep.cache.misses", after["misses"] - before["misses"])
+        obs.inc("sweep.cache.corrupt", after["corrupt"] - before["corrupt"])
+        return results
+
+    def _run_specs(self, specs: "list[ScenarioSpec]") -> SweepResults:
         results: "list[SweepResult | None]" = [None] * len(specs)
 
         # Group physically identical specs, then consult the cache once

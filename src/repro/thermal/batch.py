@@ -46,6 +46,7 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import LinearOperator, gmres, splu
 
+from repro import obs
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.thermal.solver import ThermalSolution, factorize_steady
 
@@ -113,6 +114,7 @@ class AnchoredSteadySolver:
         self._anchor_lu = _fast_splu(matrix)
         self._anchor_matrix = matrix
         self.factorizations += 1
+        obs.inc("thermal.steady.factorizations")
 
     def _solve_columns(
         self, matrix: sparse.spmatrix, rhs_columns: np.ndarray
@@ -125,6 +127,23 @@ class AnchoredSteadySolver:
 
         preconditioner = LinearOperator(matrix.shape, self._anchor_lu.solve)
         solution = np.empty_like(rhs_columns)
+        iterations = 0
+
+        def _count(_pr_norm: float) -> None:
+            nonlocal iterations
+            iterations += 1
+
+        # The counting callback is attached only while observability is
+        # on, and always with callback_type="pr_norm": the default
+        # ("legacy") silently switches maxiter to count *inner*
+        # iterations, which would change convergence behaviour. With
+        # pr_norm the iterates are identical with or without the
+        # callback (pinned by tests/obs/test_solver_equivalence.py).
+        gmres_callback = (
+            dict(callback=_count, callback_type="pr_norm")
+            if obs.enabled()
+            else {}
+        )
         for k in range(rhs_columns.shape[1]):
             rhs = rhs_columns[:, k]
             x, info = gmres(
@@ -139,16 +158,21 @@ class AnchoredSteadySolver:
                 atol=0.0,
                 restart=_GMRES_RESTART,
                 maxiter=_GMRES_MAX_OUTER,
+                **gmres_callback,
             )
             if info != 0 or not _residual_ok(matrix, x, rhs):
                 # The anchor stopped preconditioning this far from its
                 # own flow: make the current matrix the new anchor and
                 # solve the remaining columns directly.
+                obs.inc("thermal.gmres.iterations", iterations)
+                obs.inc("thermal.steady.reanchors")
                 self._anchor(matrix)
                 solution[:, k:] = self._anchor_lu.solve(rhs_columns[:, k:])
                 return solution
             self.anchored_solves += 1
+            obs.inc("thermal.steady.anchored_solves")
             solution[:, k] = x
+        obs.inc("thermal.gmres.iterations", iterations)
         return solution
 
     # -- public API -------------------------------------------------------------
@@ -200,6 +224,8 @@ class AnchoredSteadySolver:
                 # of the family too.
                 direct_lu = factorize_steady(matrix)
                 self.factorizations += 1
+                obs.inc("thermal.steady.factorizations")
+                obs.inc("thermal.steady.fallbacks")
                 self._anchor_lu = direct_lu
                 self._anchor_matrix = matrix
             direct = direct_lu.solve(rhs)
@@ -292,4 +318,5 @@ class AnchoredTransientSolver:
                 "transient solve produced non-finite temperatures"
             )
         self.column_steps += 1
+        obs.inc("thermal.transient.column_steps")
         return advanced

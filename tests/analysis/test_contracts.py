@@ -173,6 +173,146 @@ def test_clean_package_has_no_contract_findings(synthetic_repo):
     assert contract_findings(package, package.parent.parent) == []
 
 
+OBS_INIT = '''\
+COUNTER_NAMES = (
+    "engine.stale_counter",
+    "engine.steps",
+)
+'''
+
+OBS_USER = '''\
+from pkg import obs
+
+
+def run():
+    with obs.span("engine.run", lanes=1):
+        obs.inc("engine.steps")
+    obs.inc("engine.undocumented")
+    obs.inc("engine.builds", warm=True)
+    obs.observe("engine.batch.size", 4)
+    obs.gauge("engine.lanes", 2.0)
+'''
+
+OBS_DOCS = '''\
+# Observability
+
+## Signal catalog
+
+### Counters
+
+| name | meaning |
+| --- | --- |
+| `engine.steps` | steps executed |
+| `engine.ghost` | tabled but never emitted |
+
+### Warm counters
+
+| name | meaning |
+| --- | --- |
+| `engine.builds` | warm-path builds |
+
+### Histograms
+
+| name | sample |
+| --- | --- |
+| `engine.batch.size` | batch width |
+
+### Gauges
+
+| name | meaning |
+| --- | --- |
+| `engine.lanes` | lane count |
+
+### Spans
+
+| name | around |
+| --- | --- |
+| `engine.run` | one run |
+
+## Appendix
+
+Tables outside the catalog region are ignored:
+
+| name | meaning |
+| --- | --- |
+| `engine.outside` | not a catalog entry |
+'''
+
+
+@pytest.fixture
+def obs_repo(synthetic_repo) -> "tuple[Path, Path]":
+    package, root = synthetic_repo
+    (package / "obs").mkdir()
+    (package / "obs" / "__init__.py").write_text(OBS_INIT)
+    (package / "engine.py").write_text(OBS_USER)
+    (root / "docs" / "observability.md").write_text(OBS_DOCS)
+    return package, root
+
+
+class TestObsCatalogRule:
+    def _findings(self, package, root):
+        return [
+            f for f in contract_findings(package, root)
+            if f.code == "RPL306"
+        ]
+
+    def test_skipped_without_catalog_docs(self, synthetic_repo):
+        package, root = synthetic_repo
+        assert self._findings(package, root) == []
+
+    def test_every_drift_direction_fires(self, obs_repo):
+        package, root = obs_repo
+        messages = [f.message for f in self._findings(package, root)]
+        # Code -> docs: a signal the catalog does not table.
+        assert any(
+            "engine.undocumented" in m and "missing from" in m
+            and "catalog" in m for m in messages
+        )
+        # Docs -> code: a catalog row nothing emits.
+        assert any(
+            "engine.ghost" in m and "no obs" in m for m in messages
+        )
+        # Counter preload drift, both directions.
+        assert any(
+            "engine.undocumented" in m and "COUNTER_NAMES" in m
+            for m in messages
+        )
+        assert any(
+            "engine.stale_counter" in m and "no non-warm" in m
+            for m in messages
+        )
+        # Warm counters are exempt from the COUNTER_NAMES preload.
+        assert not any(
+            "engine.builds" in m and "COUNTER_NAMES" in m for m in messages
+        )
+        # Tables outside the catalog heading do not count as entries.
+        assert not any("engine.outside" in m for m in messages)
+
+    def test_consistent_surfaces_are_silent(self, obs_repo):
+        package, root = obs_repo
+        (package / "engine.py").write_text(
+            OBS_USER.replace('    obs.inc("engine.undocumented")\n', "")
+        )
+        (package / "obs" / "__init__.py").write_text(
+            OBS_INIT.replace('    "engine.stale_counter",\n', "")
+        )
+        (root / "docs" / "observability.md").write_text(
+            OBS_DOCS.replace(
+                "| `engine.ghost` | tabled but never emitted |\n", ""
+            )
+        )
+        assert self._findings(package, root) == []
+
+    def test_docs_finding_points_at_the_catalog_row(self, obs_repo):
+        package, root = obs_repo
+        [docs_finding] = [
+            f for f in self._findings(package, root)
+            if f.path == "docs/observability.md"
+        ]
+        lines = OBS_DOCS.splitlines()
+        assert "engine.ghost" in lines[docs_finding.line - 1]
+
+
 def test_referenced_evaluator_via_spec_default(synthetic_repo):
     package, root = synthetic_repo
     findings = contract_findings(package, root)

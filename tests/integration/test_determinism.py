@@ -15,6 +15,8 @@ here first.
 
 import pytest
 
+from repro import obs
+from repro.obs.metrics import deterministic_sections, dumps
 from repro.runtime.trace import standard_trace
 from repro.sweep import ScenarioSpec, SweepRunner
 from repro.opt import get_preset
@@ -125,6 +127,53 @@ class TestVectorizedExportDeterminism:
 
     def test_workers_1_vs_n_byte_identical(self, exports):
         assert exports["first"] == exports["workers"]
+
+
+class TestMetricsDeterminism:
+    """The observability counters obey the export contract too.
+
+    ``repro --metrics`` snapshots are diffed across CI runs exactly like
+    sweep exports, so the deterministic sections (counters, histograms)
+    must serialize byte-identically across independent runs and across
+    ``--jobs 1`` vs ``--jobs 2`` — the worker path exercises the
+    snapshot-merge aggregation. Wall-time and warmth-dependent signals
+    live in other sections and are excluded by design.
+    """
+
+    @pytest.fixture(scope="class")
+    def snapshots(self):
+        """Serialized deterministic metrics from three fresh sessions."""
+        artifacts = {}
+        for label, runner in (
+            ("first", SweepRunner()),
+            ("second", SweepRunner()),
+            ("workers", SweepRunner(n_workers=2)),
+        ):
+            obs.start()
+            try:
+                runner.run(RUNTIME_SPECS)
+                snapshot = obs.snapshot()
+            finally:
+                obs.stop()
+            artifacts[label] = dumps(deterministic_sections(snapshot))
+        return artifacts
+
+    def test_counters_recorded(self, snapshots):
+        payload = snapshots["first"]
+        assert '"sweep.evaluations": 2' in payload
+        assert '"runtime.steps"' in payload
+
+    def test_two_runs_byte_identical(self, snapshots):
+        assert snapshots["first"] == snapshots["second"]
+
+    def test_workers_1_vs_n_byte_identical(self, snapshots):
+        assert snapshots["first"] == snapshots["workers"]
+
+    def test_masked_sections_excluded(self, snapshots):
+        """Wall-time and warmth signals must not leak into the
+        deterministic payload."""
+        assert '"timings"' not in snapshots["first"]
+        assert '"warm"' not in snapshots["first"]
 
 
 class TestOptExportDeterminism:

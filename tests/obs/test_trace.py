@@ -1,0 +1,68 @@
+"""Span tracer unit behaviour: nesting, export formats, bounds."""
+
+from repro.obs import trace as trace_module
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestSpanTree:
+    def test_parent_links_follow_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", {}):
+            with tracer.span("inner", {"k": 1}):
+                pass
+            with tracer.span("inner", {}):
+                pass
+        records = tracer.spans()
+        # Records land in exit order: both inners close before outer.
+        assert [r["name"] for r in records] == ["inner", "inner", "outer"]
+        outer = records[2]
+        assert outer["parent"] is None
+        assert all(r["parent"] == outer["id"] for r in records[:2])
+        assert records[0]["attrs"] == {"k": 1}
+        assert len({r["id"] for r in records}) == 3
+        assert all(r["duration_s"] >= 0.0 for r in records)
+
+    def test_siblings_restore_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("a", {}):
+            pass
+        with tracer.span("b", {}):
+            pass
+        records = tracer.spans()
+        assert [r["parent"] for r in records] == [None, None]
+
+
+class TestChromeExport:
+    def test_chrome_trace_format(self):
+        tracer = Tracer()
+        with tracer.span("outer", {"preset": "flow"}):
+            with tracer.span("inner", {}):
+                pass
+        payload = tracer.chrome_trace()
+        assert payload["displayTimeUnit"] == "ms"
+        inner, outer = payload["traceEvents"]
+        for event in (inner, outer):
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 0 and event["tid"] == 0
+        assert outer["name"] == "outer"
+        assert outer["args"]["preset"] == "flow"
+        assert "parent" not in outer["args"]
+        assert inner["args"]["parent"] == outer["args"]["id"]
+
+
+class TestBounds:
+    def test_span_cap_keeps_timing_aggregates(self, monkeypatch):
+        monkeypatch.setattr(trace_module, "MAX_SPANS", 3)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        tracer.registry = registry
+        for _ in range(5):
+            with tracer.span("tick", {}):
+                pass
+        assert len(tracer.spans()) == 3
+        assert tracer.dropped == 2
+        # The aggregate keeps counting past the record cap.
+        assert registry.timings["tick"]["count"] == 5
