@@ -18,6 +18,9 @@ Gives the reproduction a zero-code entry point:
 - ``fleet``   — rack-scale multi-chip co-design through
   :mod:`repro.fleet` (shared coolant supply split across a fleet under
   a traffic schedule; fleet KPIs and per-chip CSV/JSON records);
+- ``serve``   — the :mod:`repro.serve` job-queue server: many clients
+  submit sweep/optimize/runtime/fleet jobs against one warm
+  :mod:`repro.store` result store (see ``docs/service.md``);
 - ``obs``     — render the span traces / metrics snapshots the engine
   commands write with ``--trace`` / ``--metrics`` (see
   :mod:`repro.obs` and ``docs/observability.md``).
@@ -195,21 +198,34 @@ def _split_workload_trace(
     output ``--trace out.json`` everywhere. A value ending in ``.json``
     is unambiguous — no trace *name* ends that way — so it selects the
     Chrome-trace output path and the workload trace falls back to the
-    command's default.
+    command's default. The check is case-insensitive: ``--trace
+    OUT.JSON`` is a span-trace path on a case-preserving filesystem
+    too, not a (nonexistent) workload named ``OUT.JSON``.
     """
-    if value.endswith(".json"):
+    if value.lower().endswith(".json"):
         return default, value
     return value, None
 
 
-def _print_cache_stats(stats: "dict[str, int]") -> None:
+def _print_cache_stats(cache) -> None:
+    """The store's accounting: this run, plus (for a directory-backed
+    store) the flushed lifetime totals of every process that shared it."""
     from repro.core.report import format_table
 
-    print("\ncache statistics:")
-    print(format_table(
-        ["outcome", "count"],
-        [[name, stats[name]] for name in ("hits", "misses", "corrupt")],
-    ))
+    names = ("hits", "misses", "corrupt", "evicted")
+    stats = cache.stats()
+    rows = [[name, stats[name]] for name in names]
+    if cache.directory is not None:
+        cache.flush_stats()
+        persisted = cache.persisted_stats()
+        rows = [
+            row + [persisted[name]] for row, name in zip(rows, names)
+        ]
+        print("\ncache statistics (this run | directory lifetime):")
+        print(format_table(["outcome", "run", "lifetime"], rows))
+    else:
+        print("\ncache statistics:")
+        print(format_table(["outcome", "count"], rows))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -227,7 +243,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     specs = preset.expand(args.points)
     runner = SweepRunner(
         n_workers=args.jobs,
-        cache=SweepCache(directory=args.cache_dir),
+        cache=SweepCache(
+            directory=args.cache_dir,
+            max_disk_entries=args.cache_max_entries,
+            max_disk_bytes=args.cache_max_bytes,
+        ),
         backend=args.backend,
     )
     _obs_start(args)
@@ -247,7 +267,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{runner.cache.misses} miss(es))"
         )
         if args.cache_stats:
-            _print_cache_stats(runner.cache.stats())
+            _print_cache_stats(runner.cache)
         if args.csv:
             print(f"CSV written to {results.save_csv(args.csv)}")
         if args.json:
@@ -464,6 +484,42 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ResultServer
+    from repro.store import ResultStore
+    from repro.sweep import SweepRunner
+
+    runner = SweepRunner(
+        n_workers=args.jobs,
+        cache=ResultStore(
+            directory=args.store,
+            max_disk_entries=args.cache_max_entries,
+            max_disk_bytes=args.cache_max_bytes,
+        ),
+        backend=args.backend,
+    )
+    server = ResultServer(
+        runner, host=args.host, port=args.port,
+        heartbeat_s=args.heartbeat,
+    )
+
+    def _announce(ready: "object") -> None:
+        store = "memory-only" if args.store is None else args.store
+        print(
+            f"repro serve: listening on {server.host}:{server.port} "
+            f"(store: {store}, {runner.backend.name} backend)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(server.serve_forever(on_ready=_announce))
+    except KeyboardInterrupt:
+        print("repro serve: stopped")
+    return 0
+
+
 def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     import json
 
@@ -554,7 +610,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist per-scenario results as JSON under DIR and reuse "
-        "them on later runs",
+        "them on later runs (shareable across processes and hosts; "
+        "see docs/service.md)",
+    )
+    sweep.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="evict oldest-touched cache entries beyond N (default: "
+        "unlimited)",
+    )
+    sweep.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="evict oldest-touched cache entries once the directory "
+        "exceeds BYTES (default: unlimited)",
     )
     sweep.add_argument(
         "--csv", default=None, metavar="PATH", help="export records as CSV"
@@ -758,6 +825,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the observability metrics snapshot to PATH as JSON",
     )
     fleet.set_defaults(handler=_cmd_fleet)
+
+    serve = commands.add_parser(
+        "serve",
+        help="job-queue server over one shared result store "
+        "(see docs/service.md)",
+        description="Accept sweep/optimize/runtime/fleet jobs from many "
+        "clients over newline-delimited JSON and evaluate them against "
+        "one warm content-addressed result store, streaming progress "
+        "and returning byte-identical exports to in-process runs.",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=7777, metavar="PORT",
+        help="bind port; 0 picks a free one and prints it (default: 7777)",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="shared result-store directory (default: memory-only — "
+        "warm within this server's lifetime, not across restarts)",
+    )
+    serve.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="store eviction budget: keep at most N entries on disk",
+    )
+    serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="store eviction budget: keep the directory under BYTES",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool size inside each job; 1 runs in-process "
+        "(default)",
+    )
+    serve.add_argument(
+        "--backend", default=None, metavar="NAME",
+        choices=("serial", "process", "vectorized"),
+        help="evaluation backend for every job: serial, process or "
+        "vectorized (default: derived from --jobs)",
+    )
+    serve.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="SECONDS",
+        help="progress-event interval for waiting clients (default: 1.0)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     obs_parser = commands.add_parser(
         "obs",

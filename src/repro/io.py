@@ -15,14 +15,39 @@ from __future__ import annotations
 import csv
 import dataclasses
 import enum
+import io
 import json
+import os
 import re
+import uuid
 from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+
+def write_text_atomic(path: "str | Path", text: str) -> Path:
+    """Crash-safe text write: parents created, tmp + ``os.replace``.
+
+    Matches the result store's durability contract
+    (:mod:`repro.store`): a reader racing this writer — or a crash
+    mid-write — sees the old file or the new file, never a torn one.
+    The tmp suffix carries pid + UUID so concurrent writers (including
+    pid-colliding processes on other hosts) cannot clobber each other.
+    Newline translation is disabled so the bytes written are exactly
+    ``text`` (CSV's ``\\r\\n`` terminators survive untouched).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}"
+    )
+    with tmp.open("w", newline="") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+    return path
 
 
 def to_jsonable(value: object) -> object:
@@ -64,10 +89,13 @@ def dumps(value: object, indent: int = 2) -> str:
 
 
 def save_json(value: object, path: "str | Path") -> Path:
-    """Write a value as JSON; returns the path written."""
-    path = Path(path)
-    path.write_text(dumps(value) + "\n")
-    return path
+    """Write a value as JSON; returns the path written.
+
+    Atomic (tmp + replace) with parent directories created on demand,
+    so exports into not-yet-existing result trees just work and a
+    crashed export never leaves a truncated file behind.
+    """
+    return write_text_atomic(path, dumps(value) + "\n")
 
 
 def load_json(path: "str | Path") -> object:
@@ -75,18 +103,15 @@ def load_json(path: "str | Path") -> object:
     return json.loads(Path(path).read_text())
 
 
-def save_csv(
+def csv_dumps(
     records: "Sequence[Mapping[str, object]]",
-    path: "str | Path",
     columns: "Sequence[str] | None" = None,
-) -> Path:
-    """Write flat records as CSV; returns the path written.
+) -> str:
+    """CSV-encode flat records exactly as :func:`save_csv` writes them.
 
-    Columns default to the union of record keys in first-appearance order;
-    an explicit ``columns`` subset projects the records (extra keys are
-    dropped, whatever their type). Written values must be scalars
-    (numbers, bools, strings, or None — which becomes an empty cell);
-    nested structures belong in JSON via :func:`save_json`.
+    The in-memory twin of :func:`save_csv` (which is ``write_text_atomic``
+    of this text): ``repro serve`` returns this string so a client-side
+    write is byte-identical to an in-process export.
     """
     rows = [dict(record) for record in records]
     if columns is None:
@@ -107,15 +132,32 @@ def save_csv(
                     f"CSV cells must be scalars, got {type(value).__name__} "
                     f"in column {key!r}; use save_json for nested data"
                 )
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(
-            handle, fieldnames=list(columns), restval="",
-            extrasaction="ignore",
-        )
-        writer.writeheader()
-        writer.writerows(rows)
-    return path
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(columns), restval="",
+        extrasaction="ignore",
+    )
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def save_csv(
+    records: "Sequence[Mapping[str, object]]",
+    path: "str | Path",
+    columns: "Sequence[str] | None" = None,
+) -> Path:
+    """Write flat records as CSV; returns the path written.
+
+    Columns default to the union of record keys in first-appearance order;
+    an explicit ``columns`` subset projects the records (extra keys are
+    dropped, whatever their type). Written values must be scalars
+    (numbers, bools, strings, or None — which becomes an empty cell);
+    nested structures belong in JSON via :func:`save_json`. The write is
+    atomic with parent directories created on demand, like
+    :func:`save_json`.
+    """
+    return write_text_atomic(path, csv_dumps(records, columns))
 
 
 #: Canonical integer form as str() emits it: no underscores, no leading

@@ -78,8 +78,11 @@ COUNTER_NAMES = (
     "runtime.steps",
     "runtime.throttled_steps",
     "runtime.violation_steps",
+    "serve.errors",
+    "serve.jobs",
     "surface.interpolations",
     "sweep.cache.corrupt",
+    "sweep.cache.evictions",
     "sweep.cache.hits",
     "sweep.cache.misses",
     "sweep.evaluations",

@@ -1,0 +1,44 @@
+"""``repro.serve`` — an asyncio job-queue front end over one warm store.
+
+Many clients submit sweep / optimize / runtime / fleet jobs to a single
+server process that evaluates them against one shared
+:class:`repro.store.ResultStore` — so every client benefits from every
+other client's warm results, and a fleet of short-lived CLI runs stops
+re-evaluating the design space from scratch.
+
+Pure stdlib: newline-delimited JSON over a TCP socket (asyncio streams
+on the server, a plain blocking socket in the client). The server
+streams progress events (``queued`` → ``started`` → ``progress``… →
+``done``/``error``) and returns, alongside the flat result records, the
+exact CSV/JSON text an in-process run would have written — the
+byte-determinism contract ``docs/service.md`` pins and
+``tests/serve/test_serve.py`` enforces.
+
+Quick use::
+
+    # one terminal (or a rack-level service)
+    python -m repro serve --store /shared/results --port 7777
+
+    # any number of clients
+    from repro.serve import ServeClient
+    outcome = ServeClient("127.0.0.1", 7777).submit(
+        "sweep", preset="flow", points=16)
+    outcome.require()["csv"]      # byte-identical to results.save_csv()
+"""
+
+from repro.serve.client import JobOutcome, ServeClient, write_artifacts
+from repro.serve.jobs import run_job
+from repro.serve.protocol import JOB_KINDS, PROTOCOL_VERSION, validate_request
+from repro.serve.server import BackgroundServer, ResultServer
+
+__all__ = [
+    "BackgroundServer",
+    "JOB_KINDS",
+    "JobOutcome",
+    "PROTOCOL_VERSION",
+    "ResultServer",
+    "ServeClient",
+    "run_job",
+    "validate_request",
+    "write_artifacts",
+]

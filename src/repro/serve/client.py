@@ -1,0 +1,126 @@
+"""Blocking client for ``repro serve`` (plain stdlib sockets).
+
+The client side deliberately avoids asyncio: callers are ordinary
+scripts, tests and CLI runs that want to submit a job and wait. One
+:class:`ServeClient` can submit any number of jobs (one connection
+each).
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+from repro.serve.protocol import decode_line, encode_line
+
+#: Default per-job timeout: design-space jobs are minutes, not hours.
+DEFAULT_TIMEOUT_S = 600.0
+
+
+@dataclass
+class JobOutcome:
+    """Everything one job sent back: the event stream and its ending."""
+
+    events: "list[dict[str, Any]]" = field(default_factory=list)
+
+    @property
+    def result(self) -> "dict[str, Any] | None":
+        """The ``done`` payload, or ``None`` if the job failed."""
+        for event in self.events:
+            if event.get("event") == "done":
+                result = event.get("result")
+                return result if isinstance(result, dict) else None
+        return None
+
+    @property
+    def error(self) -> "str | None":
+        """The ``error`` message, or ``None`` on success."""
+        for event in self.events:
+            if event.get("event") == "error":
+                return str(event.get("message"))
+        return None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def require(self) -> "dict[str, Any]":
+        """The result payload, raising the server's error if it failed."""
+        result = self.result
+        if result is None:
+            raise ConfigurationError(
+                self.error or "job ended without a done or error event"
+            )
+        return result
+
+    def progress_events(self) -> "list[dict[str, Any]]":
+        return [e for e in self.events if e.get("event") == "progress"]
+
+
+class ServeClient:
+    """Submit jobs to a running ``repro serve`` and collect the events."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7777,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def stream(
+        self, kind: str, **params: "Any"
+    ) -> "Iterator[dict[str, Any]]":
+        """Submit one job; yield its events as the server sends them."""
+        request = encode_line({"kind": kind, "params": params})
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        ) as conn:
+            conn.sendall(request)
+            with conn.makefile("rb") as lines:
+                for raw in lines:
+                    event = decode_line(raw)
+                    yield event
+                    if event.get("event") in ("done", "error"):
+                        return
+
+    def submit(self, kind: str, **params: "Any") -> JobOutcome:
+        """Submit one job and wait for its end; never raises for a
+        *job* failure (check :attr:`JobOutcome.ok` / :meth:`require`) —
+        only for transport problems."""
+        outcome = JobOutcome()
+        for event in self.stream(kind, **params):
+            outcome.events.append(event)
+        return outcome
+
+
+def write_artifacts(
+    result: "dict[str, Any]",
+    csv_path: "str | Path | None" = None,
+    json_path: "str | Path | None" = None,
+) -> "list[Path]":
+    """Write a job result's export text to disk.
+
+    Uses the same atomic writer as :func:`repro.io.save_csv` /
+    :func:`save_json`, and the server produced the text with the same
+    encoders — so the files are byte-identical to an in-process run's
+    exports (the determinism contract in ``docs/service.md``).
+    """
+    from repro.io import write_text_atomic
+
+    written = []
+    for text_key, path in (("csv", csv_path), ("json", json_path)):
+        if path is None:
+            continue
+        text = result.get(text_key)
+        if not isinstance(text, str):
+            raise ConfigurationError(
+                f"job result carries no {text_key!r} export"
+            )
+        written.append(write_text_atomic(path, text))
+    return written

@@ -1,0 +1,75 @@
+"""Wire protocol for ``repro serve``: newline-delimited JSON.
+
+One connection carries one job. The client sends a single request
+line::
+
+    {"kind": "sweep", "params": {"preset": "flow", "points": 16}}
+
+and reads event lines until ``done`` or ``error``::
+
+    {"event": "queued",   "job": 3, "position": 1, "version": 1}
+    {"event": "started",  "job": 3}
+    {"event": "progress", "job": 3, "elapsed_ms": 1042, "store": {...}}
+    {"event": "done",     "job": 3, "result": {...}}
+
+Every line is JSON with sorted keys. The ``result`` payload is
+deterministic (byte-identical for identical jobs against the same
+starting store state); the event *stream* is not — ``progress``
+heartbeats depend on wall time and queue position on load. See
+``docs/service.md`` for the full event and result schemas.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ConfigurationError
+
+#: Bumped on incompatible wire changes; echoed in the ``queued`` event
+#: so clients can detect a mismatched server.
+PROTOCOL_VERSION = 1
+
+#: Job kinds the server executes, in `repro <command>` naming.
+JOB_KINDS = ("sweep", "optimize", "runtime", "fleet")
+
+
+def encode_line(payload: "dict[str, object]") -> bytes:
+    """One protocol line: sorted-key JSON + newline, UTF-8."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(raw: bytes) -> "dict[str, object]":
+    """Parse one protocol line; malformed input raises cleanly."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ConfigurationError(f"malformed protocol line: {error}") from None
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            "protocol lines must be JSON objects, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def validate_request(
+    payload: "dict[str, object]",
+) -> "tuple[str, dict[str, object]]":
+    """Check a request object; returns ``(kind, params)``.
+
+    Unknown kinds and non-dict params are rejected here, before the job
+    enters the queue; per-kind parameter validation happens in
+    :mod:`repro.serve.jobs` where the defaults live.
+    """
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise ConfigurationError(
+            f"unknown job kind {kind!r}; expected one of "
+            + ", ".join(JOB_KINDS)
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ConfigurationError(
+            f"params must be an object, got {type(params).__name__}"
+        )
+    return kind, params

@@ -1,0 +1,413 @@
+"""The content-addressed result store (see the package docstring).
+
+Concurrency contract
+--------------------
+
+Many processes — on many hosts, over NFS — may share one store
+directory. The invariants every code path here preserves:
+
+- **Writes are atomic.** An entry is written to a temporary file and
+  ``os.replace``-d into place; readers see the old entry, the new
+  entry, or no entry — never a torn file.
+- **Temporary names cannot collide.** The tmp suffix carries both the
+  pid *and* a fresh UUID: two hosts sharing the directory can (and on
+  busy clusters do) hand the same pid to different processes, so a
+  pid-only suffix would let one writer clobber another's in-flight tmp
+  file. The UUID makes the name unique across hosts.
+- **Crashes do not leak forever.** A writer killed between the tmp
+  write and the replace leaves a ``.*.tmp-*`` orphan; every store
+  *open* reaps orphans older than ``stale_tmp_age_s``. Age is measured
+  against the *directory's own clock* (a probe file's mtime), so NFS
+  clients with skewed local clocks still agree on what "stale" means.
+- **Reads never block writes.** There are no locks; a reader racing an
+  eviction sees a plain miss, re-evaluates, and re-puts.
+
+Determinism: eviction order is ``(last-touch mtime, name)`` — the name
+tiebreak keeps the order reproducible when timestamps collide — and
+every directory listing is sorted before iteration.
+
+Entry format: ``{"metrics": {...}, "order": [...]}`` with sorted JSON
+keys. The ``order`` list records the metrics dict's insertion order,
+which sorted-key serialization would otherwise destroy — and exports
+derive their CSV column order from that insertion order, so losing it
+would make a warm replay byte-different from the cold run that filled
+the store. Legacy entries (a bare metrics object) are still readable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Default bound on the in-memory LRU layer. Large enough that any one
+#: sweep/opt round is fully memory-resident, small enough that a
+#: long-lived ``repro serve`` process replaying a million-entry shared
+#: store stays flat.
+DEFAULT_MAX_MEMORY_ENTRIES = 4096
+
+#: Tmp files older than this are crash leftovers, not in-flight writes
+#: (a put holds its tmp file for milliseconds), and are reaped on open.
+DEFAULT_STALE_TMP_AGE_S = 3600.0
+
+#: The stat counters, in reporting order.
+_STAT_NAMES = ("hits", "misses", "corrupt", "evicted")
+
+
+def _decode_entry(loaded: object) -> "dict[str, float] | None":
+    """Reconstruct a metrics dict from a persisted entry, or ``None``.
+
+    Sorted-key serialization destroys insertion order, so entries carry
+    it explicitly (``order``) and this rebuilds the dict in that order —
+    a warm read must hand back *exactly* the dict the evaluator
+    produced, column order included. Metrics missing from ``order``
+    (a hand-edited entry) are appended name-sorted rather than dropped;
+    bare-object legacy entries pass through as-is.
+    """
+    if not isinstance(loaded, dict):
+        return None
+    metrics = loaded.get("metrics")
+    order = loaded.get("order")
+    if isinstance(metrics, dict) and isinstance(order, list):
+        decoded = {
+            name: metrics[name] for name in order if name in metrics
+        }
+        for name in sorted(set(metrics) - set(decoded)):
+            decoded[name] = metrics[name]
+        return decoded
+    return loaded
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """One immutable snapshot of the store counters."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    evicted: int = 0
+
+    def as_dict(self) -> "dict[str, int]":
+        return {name: getattr(self, name) for name in _STAT_NAMES}
+
+
+class ResultStore:
+    """Content-addressed metrics store with safe concurrent writers.
+
+    Parameters
+    ----------
+    directory:
+        Persist entries as ``<key>.json`` under this directory (created
+        if missing, shareable across processes and hosts); ``None``
+        keeps the store memory-only.
+    max_memory_entries:
+        Bound on the in-memory LRU layer (``None`` = unbounded). A
+        memory drop is *not* an eviction: the disk entry survives and a
+        later get is still a hit.
+    max_disk_entries / max_disk_bytes:
+        Disk eviction budget: after every put the store drops its
+        oldest-touched entries until both budgets hold (``None`` =
+        unlimited). Disk hits refresh an entry's mtime, so the policy
+        is LRU over actual use, not write order.
+    stale_tmp_age_s:
+        Orphaned ``.*.tmp-*`` files older than this (by the directory's
+        own clock) are deleted when the store opens.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path | None" = None,
+        *,
+        max_memory_entries: "int | None" = DEFAULT_MAX_MEMORY_ENTRIES,
+        max_disk_entries: "int | None" = None,
+        max_disk_bytes: "int | None" = None,
+        stale_tmp_age_s: float = DEFAULT_STALE_TMP_AGE_S,
+    ) -> None:
+        for name, value in (
+            ("max_memory_entries", max_memory_entries),
+            ("max_disk_entries", max_disk_entries),
+            ("max_disk_bytes", max_disk_bytes),
+        ):
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be >= 1 or None")
+        self._memory: "OrderedDict[str, dict[str, float]]" = OrderedDict()
+        self.max_memory_entries = max_memory_entries
+        self.max_disk_entries = max_disk_entries
+        self.max_disk_bytes = max_disk_bytes
+        self.stale_tmp_age_s = stale_tmp_age_s
+        self.directory = Path(directory) if directory is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.evicted = 0
+        self.reaped_tmp = 0
+        #: Unique per store instance; names this instance's stats shard
+        #: and keeps repeated flushes idempotent.
+        self._instance_id = f"{os.getpid()}-{uuid.uuid4().hex}"
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.reaped_tmp = self._reap_stale_tmp()
+
+    # -- clock ---------------------------------------------------------------
+
+    def _directory_now_s(self) -> "float | None":
+        """The store directory's idea of "now": a probe file's mtime.
+
+        Comparing tmp ages against the *filesystem's* clock (for NFS,
+        the server's) instead of ``time.time()`` keeps staleness
+        decisions consistent across clients with skewed local clocks —
+        and keeps result code free of wall-clock reads.
+        """
+        assert self.directory is not None
+        probe = self.directory / (
+            f".probe.tmp-{os.getpid()}-{uuid.uuid4().hex}"
+        )
+        try:
+            probe.touch()
+            return probe.stat().st_mtime
+        except OSError:
+            return None
+        finally:
+            try:
+                probe.unlink()
+            except OSError:
+                pass
+
+    # -- open-time maintenance -----------------------------------------------
+
+    def _reap_stale_tmp(self) -> int:
+        """Delete crash-orphaned tmp files; returns how many went."""
+        assert self.directory is not None
+        now_s = self._directory_now_s()
+        if now_s is None:
+            return 0
+        reaped = 0
+        roots = [self.directory]
+        stats_dir = self.directory / ".stats"
+        if stats_dir.is_dir():
+            roots.append(stats_dir)
+        for root in roots:
+            for tmp in sorted(root.glob(".*.tmp*")):
+                try:
+                    age_s = now_s - tmp.stat().st_mtime
+                except OSError:
+                    continue  # raced another reaper
+                if age_s <= self.stale_tmp_age_s:
+                    continue  # plausibly in flight
+                try:
+                    tmp.unlink()
+                except OSError:
+                    continue
+                reaped += 1
+        return reaped
+
+    # -- the memoization interface (what SweepRunner calls) --------------------
+
+    def _path(self, key: str) -> "Path | None":
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def _remember(self, key: str, metrics: "dict[str, float]") -> None:
+        """Insert into the LRU layer, dropping the coldest over-bound."""
+        self._memory[key] = dict(metrics)
+        self._memory.move_to_end(key)
+        if self.max_memory_entries is not None:
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+
+    def get(self, key: str) -> "dict[str, float] | None":
+        metrics = self._memory.get(key)
+        if metrics is not None:
+            self._memory.move_to_end(key)
+        else:
+            path = self._path(key)
+            if path is not None:
+                # Read without an existence pre-check: between a check
+                # and the read another process may evict the file, and
+                # that race must read as a plain miss, not corruption.
+                try:
+                    text = path.read_text()
+                except FileNotFoundError:
+                    text = None
+                except OSError:
+                    text = None
+                    self.corrupt += 1
+                if text is not None:
+                    # A corrupt or truncated file (non-atomic writer
+                    # from another tool, disk trouble) is a cache miss,
+                    # not a crash: the scenario re-evaluates and put()
+                    # replaces the bad file atomically.
+                    try:
+                        loaded = json.loads(text)
+                    except ValueError:
+                        loaded = None
+                    metrics = _decode_entry(loaded)
+                    if metrics is not None:
+                        self._remember(key, metrics)
+                        self._touch(path)
+                    else:
+                        self.corrupt += 1
+        if metrics is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Copy on the way out: a caller mutating a result's metrics must
+        # not corrupt the store entry.
+        return dict(metrics)
+
+    def put(self, key: str, metrics: "dict[str, float]") -> None:
+        self._remember(key, metrics)
+        path = self._path(key)
+        if path is not None:
+            # Atomic replace through a collision-proof tmp name: pid
+            # alone is NOT unique across hosts sharing the directory.
+            tmp = path.with_name(
+                f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}"
+            )
+            entry = {"metrics": metrics, "order": list(metrics)}
+            tmp.write_text(json.dumps(entry, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+            self._evict_over_budget()
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime so disk eviction is LRU over use."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # read-only share: eviction degrades to write order
+
+    # -- eviction --------------------------------------------------------------
+
+    def _evict_over_budget(self) -> None:
+        """Drop oldest-touched disk entries until both budgets hold."""
+        if self.directory is None:
+            return
+        if self.max_disk_entries is None and self.max_disk_bytes is None:
+            return
+        entries = []
+        total_bytes = 0
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                status = path.stat()
+            except OSError:
+                continue  # raced another evictor
+            entries.append((status.st_mtime, path.name, status.st_size))
+            total_bytes += status.st_size
+        entries.sort()
+        index = 0
+        while index < len(entries) and (
+            (
+                self.max_disk_entries is not None
+                and len(entries) - index > self.max_disk_entries
+            )
+            or (
+                self.max_disk_bytes is not None
+                and total_bytes > self.max_disk_bytes
+            )
+        ):
+            _, name, size = entries[index]
+            index += 1
+            total_bytes -= size
+            try:
+                (self.directory / name).unlink()
+            except OSError:
+                continue  # another process already evicted it
+            self.evicted += 1
+
+    # -- stats -----------------------------------------------------------------
+
+    def stats(self) -> "dict[str, int]":
+        """Hit-rate accounting since construction.
+
+        ``hits`` / ``misses`` count :meth:`get` outcomes (the runner
+        consults the store once per unique spec, so in-run duplicates do
+        not inflate either); ``corrupt`` counts persisted files that
+        could not be read back (bad JSON, truncated write, wrong type)
+        and were treated as misses — a nonzero value means the store
+        directory needs attention even though results stayed correct;
+        ``evicted`` counts disk entries this instance dropped to hold
+        the size/count budget. Memory-LRU drops appear nowhere: the
+        disk entry survives them, so they change no outcome.
+        """
+        return {name: getattr(self, name) for name in _STAT_NAMES}
+
+    def snapshot_stats(self) -> StoreStats:
+        """The same accounting as an immutable :class:`StoreStats`."""
+        return StoreStats(**self.stats())
+
+    def flush_stats(self) -> "Path | None":
+        """Persist this instance's counters as a stats shard.
+
+        Each store instance owns one shard file under ``.stats/`` (the
+        instance id embeds pid + UUID, so shards never collide across
+        processes or hosts) and overwrites it atomically with its
+        cumulative totals — flushing is idempotent and lock-free.
+        Returns the shard path, or ``None`` for a memory-only store.
+        """
+        if self.directory is None:
+            return None
+        stats_dir = self.directory / ".stats"
+        stats_dir.mkdir(exist_ok=True)
+        shard = stats_dir / f"{self._instance_id}.json"
+        tmp = stats_dir / (
+            f".{shard.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}"
+        )
+        tmp.write_text(json.dumps(self.stats(), sort_keys=True) + "\n")
+        os.replace(tmp, shard)
+        return shard
+
+    def persisted_stats(self) -> "dict[str, int]":
+        """Lifetime totals over every flushed shard in the directory.
+
+        The sum of all processes' flushed counters (including this
+        instance's, once it has flushed). Unreadable shards are skipped
+        — a shard mid-replace reads as its previous complete version.
+        """
+        totals = {name: 0 for name in _STAT_NAMES}
+        if self.directory is None:
+            return totals
+        stats_dir = self.directory / ".stats"
+        if not stats_dir.is_dir():
+            return totals
+        for shard in sorted(stats_dir.glob("*.json")):
+            try:
+                loaded = json.loads(shard.read_text())
+            except (ValueError, OSError):
+                continue
+            if not isinstance(loaded, dict):
+                continue
+            for name in _STAT_NAMES:
+                value = loaded.get(name)
+                if isinstance(value, int) and not isinstance(value, bool):
+                    totals[name] += value
+        return totals
+
+    # -- introspection ---------------------------------------------------------
+
+    def disk_entries(self) -> int:
+        """Entries currently on disk (0 for a memory-only store)."""
+        if self.directory is None:
+            return 0
+        return sum(1 for _ in sorted(self.directory.glob("*.json")))
+
+    def disk_bytes(self) -> int:
+        """Bytes currently on disk (0 for a memory-only store)."""
+        if self.directory is None:
+            return 0
+        total = 0
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def __len__(self) -> int:
+        return len(self._memory)

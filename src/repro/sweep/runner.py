@@ -3,8 +3,9 @@
 :class:`SweepRunner` turns a list of :class:`~repro.sweep.spec.ScenarioSpec`
 (or a :class:`~repro.sweep.spec.SweepGrid`) into
 :class:`SweepResult` records. It deduplicates physically identical specs,
-memoizes evaluations in a :class:`SweepCache` (in-memory, optionally
-persisted to a directory of JSON files keyed on the spec hash), and hands
+memoizes evaluations in a :class:`SweepCache` — the content-addressed
+:class:`repro.store.ResultStore`, in-memory with an optional shared disk
+directory safe for concurrent multi-process writers — and hands
 the remaining unique work to a pluggable
 :class:`~repro.sweep.backends.EvaluationBackend` — in-process serial, a
 ``concurrent.futures`` process pool, or grouped numpy-batched evaluation
@@ -24,6 +25,7 @@ from typing import Iterator, Sequence
 
 from repro import obs
 from repro.errors import ConfigurationError
+from repro.store import ResultStore
 from repro.sweep.backends import EvaluationBackend, get_backend
 from repro.sweep.evaluators import get_evaluator
 from repro.sweep.spec import ScenarioSpec, SweepGrid
@@ -54,87 +56,15 @@ class SweepResult:
         return row
 
 
-class SweepCache:
-    """Memoization store keyed on :meth:`ScenarioSpec.cache_key`.
-
-    Always caches in memory; with ``directory`` set, every evaluation is
-    also written as ``<hash>.json`` so later runs (and parallel runs of
-    different presets sharing points) skip the work entirely.
-    """
-
-    def __init__(self, directory: "str | Path | None" = None) -> None:
-        self._memory: "dict[str, dict[str, float]]" = {}
-        self.directory = Path(directory) if directory is not None else None
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-        self.corrupt = 0
-
-    def _path(self, key: str) -> "Path | None":
-        if self.directory is None:
-            return None
-        return self.directory / f"{key}.json"
-
-    def get(self, key: str) -> "dict[str, float] | None":
-        metrics = self._memory.get(key)
-        if metrics is None:
-            path = self._path(key)
-            if path is not None and path.is_file():
-                import json
-
-                # A corrupt or truncated file (interrupted non-atomic
-                # writer from another tool, disk trouble) is a cache miss,
-                # not a crash: the scenario re-evaluates and put() replaces
-                # the bad file atomically.
-                try:
-                    loaded = json.loads(path.read_text())
-                except (ValueError, OSError):
-                    loaded = None
-                if isinstance(loaded, dict):
-                    metrics = loaded
-                    self._memory[key] = metrics
-                else:
-                    self.corrupt += 1
-        if metrics is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        # Copy on the way out: a caller mutating a result's metrics must
-        # not corrupt the cache entry.
-        return dict(metrics)
-
-    def put(self, key: str, metrics: "dict[str, float]") -> None:
-        self._memory[key] = dict(metrics)
-        path = self._path(key)
-        if path is not None:
-            import json
-            import os
-
-            # Atomic write: concurrent sweeps sharing the directory must
-            # never observe a truncated JSON file.
-            tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
-            tmp.write_text(json.dumps(metrics, sort_keys=True) + "\n")
-            os.replace(tmp, path)
-
-    def stats(self) -> "dict[str, int]":
-        """Hit-rate accounting since construction.
-
-        ``hits`` / ``misses`` count :meth:`get` outcomes (the runner
-        consults the cache once per unique spec, so in-run duplicates do
-        not inflate either); ``corrupt`` counts persisted files that
-        could not be read back (bad JSON, truncated write, wrong type)
-        and were treated as misses — a nonzero value means the cache
-        directory needs attention even though results stayed correct.
-        """
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "corrupt": self.corrupt,
-        }
-
-    def __len__(self) -> int:
-        return len(self._memory)
+#: Memoization store keyed on :meth:`ScenarioSpec.cache_key` — the
+#: content-addressed :class:`repro.store.ResultStore` under its
+#: historical sweep-engine name. Always caches in memory (LRU-bounded);
+#: with ``directory`` set, every evaluation is also written atomically
+#: as ``<hash>.json`` so later runs — and concurrent runs in other
+#: processes or on other hosts sharing the directory — skip the work
+#: entirely. See :mod:`repro.store` for eviction budgets, stale-tmp
+#: reaping and persistent stats.
+SweepCache = ResultStore
 
 
 class SweepResults(Sequence):
@@ -318,6 +248,7 @@ class SweepRunner:
         obs.inc("sweep.cache.hits", after["hits"] - before["hits"])
         obs.inc("sweep.cache.misses", after["misses"] - before["misses"])
         obs.inc("sweep.cache.corrupt", after["corrupt"] - before["corrupt"])
+        obs.inc("sweep.cache.evictions", after["evicted"] - before["evicted"])
         return results
 
     def _run_specs(self, specs: "list[ScenarioSpec]") -> SweepResults:

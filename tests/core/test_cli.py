@@ -170,3 +170,80 @@ class TestOptimizeCommand:
         second = capsys.readouterr().out
         assert "9 evaluation(s)" in first
         assert "0 evaluation(s), 9 from cache" in second
+
+
+class TestWorkloadTraceSplit:
+    def test_json_suffix_routes_to_span_trace(self):
+        from repro.cli import _split_workload_trace
+
+        assert _split_workload_trace("out.json", "bursty") == (
+            "bursty", "out.json",
+        )
+        # Case-insensitive: OUT.JSON is a span-trace path on a
+        # case-preserving filesystem, not a workload named OUT.JSON.
+        assert _split_workload_trace("OUT.JSON", "bursty") == (
+            "bursty", "OUT.JSON",
+        )
+
+    def test_workload_name_passes_through(self):
+        from repro.cli import _split_workload_trace
+
+        assert _split_workload_trace("step", "bursty") == ("step", None)
+
+    def test_runtime_uppercase_trace_writes_chrome_trace(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        trace_path = tmp_path / "SPANS.JSON"
+        assert main([
+            "runtime", "--trace", str(trace_path), "--controller", "fixed",
+        ]) == 0
+        output = capsys.readouterr().out
+        # The workload fell back to the command default...
+        assert "runtime 'bursty'" in output
+        # ...and the uppercase path received the span trace.
+        assert "traceEvents" in json.loads(trace_path.read_text())
+
+
+class TestSweepCacheFlags:
+    def test_cache_stats_prints_lifetime_and_budget_holds(
+        self, capsys, tmp_path
+    ):
+        store_dir = tmp_path / "store"
+        assert main([
+            "sweep", "flow", "--points", "4",
+            "--cache-dir", str(store_dir),
+            "--cache-stats", "--cache-max-entries", "3",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "cache statistics (this run | directory lifetime)" in output
+        assert "evicted" in output
+        # The eviction budget held: only 3 entries remain on disk.
+        assert len(list(store_dir.glob("*.json"))) == 3
+
+    def test_memory_only_cache_stats_table(self, capsys):
+        assert main(["sweep", "flow", "--points", "2",
+                     "--cache-stats"]) == 0
+        output = capsys.readouterr().out
+        assert "cache statistics:" in output
+        assert "lifetime" not in output
+
+
+class TestServeParser:
+    def test_parser_accepts_serve(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--store", "somewhere",
+            "--heartbeat", "0.5",
+        ])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.store == "somewhere"
+        assert args.heartbeat == 0.5
+        assert args.host == "127.0.0.1"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7777
+        assert args.store is None
+        assert args.jobs == 1

@@ -1,0 +1,166 @@
+"""End-to-end tests for ``repro serve``.
+
+The contract under test (``docs/service.md``): results are
+byte-identical to in-process runs, a warm store answers replays with
+zero evaluations, and job failures are error *events* — the server
+survives them.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    JOB_KINDS,
+    PROTOCOL_VERSION,
+    BackgroundServer,
+    JobOutcome,
+    ResultServer,
+    ServeClient,
+    validate_request,
+    write_artifacts,
+)
+from repro.serve.protocol import decode_line, encode_line
+from repro.store import ResultStore
+from repro.sweep import SweepRunner, get_preset
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        line = encode_line({"b": 1, "a": 2})
+        assert line.endswith(b"\n")
+        assert line.index(b'"a"') < line.index(b'"b"')  # sorted keys
+        assert decode_line(line) == {"a": 2, "b": 1}
+
+    def test_decode_rejects_malformed_lines(self):
+        with pytest.raises(ConfigurationError):
+            decode_line(b"{torn")
+        with pytest.raises(ConfigurationError):
+            decode_line(b"[1, 2]\n")  # not an object
+
+    def test_validate_request_shapes(self):
+        assert validate_request(
+            {"kind": "sweep", "params": {"preset": "flow"}}
+        ) == ("sweep", {"preset": "flow"})
+        assert validate_request({"kind": "runtime"}) == ("runtime", {})
+        with pytest.raises(ConfigurationError):
+            validate_request({"params": {}})  # kind missing
+        with pytest.raises(ConfigurationError):
+            validate_request({"kind": "paint", "params": {}})
+        with pytest.raises(ConfigurationError):
+            validate_request({"kind": "sweep", "params": [1]})
+
+    def test_job_kinds_track_the_cli(self):
+        assert JOB_KINDS == ("sweep", "optimize", "runtime", "fleet")
+
+
+class TestDeterminism:
+    def test_two_clients_byte_identical_and_warm_replay(self):
+        with BackgroundServer(ResultServer(SweepRunner())) as bg:
+            client = ServeClient(port=bg.port)
+            first = client.submit("sweep", preset="flow", points=3).require()
+            second = client.submit("sweep", preset="flow", points=3).require()
+        assert first["store"]["misses"] == 3  # cold: every point evaluated
+        # Warm replay: zero evaluations, answered entirely by the store.
+        assert second["store"] == {
+            "hits": 3, "misses": 0, "corrupt": 0, "evicted": 0,
+        }
+        assert second["csv"] == first["csv"]
+        assert second["json"] == first["json"]
+        assert second["records"] == first["records"]
+
+    def test_served_bytes_match_in_process_exports(self, tmp_path):
+        preset = get_preset("flow")
+        direct = SweepRunner().run(preset.expand(3))
+        direct_csv = direct.save_csv(tmp_path / "direct.csv").read_bytes()
+        direct_json = direct.save_json(tmp_path / "direct.json").read_bytes()
+
+        with BackgroundServer() as bg:
+            served = ServeClient(port=bg.port).submit(
+                "sweep", preset="flow", points=3
+            ).require()
+        paths = write_artifacts(
+            served,
+            csv_path=tmp_path / "served.csv",
+            json_path=tmp_path / "served.json",
+        )
+        assert paths[0].read_bytes() == direct_csv
+        assert paths[1].read_bytes() == direct_json
+
+    def test_warm_store_survives_server_restart(self, tmp_path):
+        store_dir = tmp_path / "store"
+
+        def one_server_run():
+            runner = SweepRunner(cache=ResultStore(store_dir))
+            with BackgroundServer(ResultServer(runner)) as bg:
+                return ServeClient(port=bg.port).submit(
+                    "sweep", preset="flow", points=3
+                ).require()
+
+        first = one_server_run()
+        second = one_server_run()  # a brand-new server process state
+        assert first["store"]["misses"] == 3
+        assert second["store"]["misses"] == 0
+        assert second["store"]["hits"] == 3
+        assert second["csv"] == first["csv"]
+
+
+class TestEventStream:
+    def test_queued_started_progress_done(self):
+        server = ResultServer(SweepRunner(), heartbeat_s=0.02)
+        with BackgroundServer(server) as bg:
+            outcome = ServeClient(port=bg.port).submit(
+                "runtime", trace="bursty"
+            )
+        names = [event["event"] for event in outcome.events]
+        assert names[0] == "queued"
+        assert outcome.events[0]["version"] == PROTOCOL_VERSION
+        assert outcome.events[0]["position"] == 0
+        assert "started" in names
+        assert names[-1] == "done"
+        progress = outcome.progress_events()
+        assert progress  # heartbeats flowed while the job computed
+        assert {"elapsed_ms", "store"} <= set(progress[0])
+        result = outcome.require()
+        assert result["kind"] == "runtime"
+        assert len(result["records"]) > 10
+        assert "peak_temperature_c" in result["kpis"]
+        assert server.jobs_completed == 1
+
+    def test_joboutcome_require_without_events(self):
+        with pytest.raises(ConfigurationError):
+            JobOutcome().require()
+
+    def test_write_artifacts_requires_export_text(self):
+        with pytest.raises(ConfigurationError):
+            write_artifacts({"records": []}, csv_path="out.csv")
+
+
+class TestErrors:
+    def test_job_failure_is_an_event_and_the_server_survives(self):
+        server = ResultServer(SweepRunner())
+        with BackgroundServer(server) as bg:
+            client = ServeClient(port=bg.port)
+            outcome = client.submit("sweep", preset="nonsense")
+            assert not outcome.ok
+            assert "nonsense" in outcome.error
+            with pytest.raises(ConfigurationError):
+                outcome.require()
+            # The next job on the same server runs fine.
+            assert client.submit("sweep", preset="flow", points=2).ok
+        assert server.jobs_failed == 1
+        assert server.jobs_completed == 1
+
+    def test_unknown_kind_rejected_before_queueing(self):
+        with BackgroundServer() as bg:
+            outcome = ServeClient(port=bg.port).submit("paint")
+        assert not outcome.ok
+        assert "kind" in outcome.error
+        assert [event["event"] for event in outcome.events] == ["error"]
+
+    def test_unknown_parameter_rejected(self):
+        with BackgroundServer() as bg:
+            outcome = ServeClient(port=bg.port).submit(
+                "sweep", preset="flow", point=8  # typo for points
+            )
+        assert not outcome.ok
+        assert "point" in outcome.error

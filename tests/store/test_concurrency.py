@@ -1,0 +1,87 @@
+"""Concurrency tests: many processes hammering one shared store.
+
+The store's contract (``repro.store.core``) is lock-free safety: with N
+processes mixing puts, gets and evictions on one directory, no reader
+may ever see a torn file (``corrupt`` stays 0 everywhere) and every get
+is accounted as exactly one hit or one miss.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from random import Random
+
+from repro.store import ResultStore
+
+#: Keys deliberately overlap across workers so puts and gets collide.
+KEYS = [f"scenario-{index:02d}" for index in range(6)]
+OPS_PER_WORKER = 120
+
+
+def hammer(args):
+    """One worker process: seeded random put/get mix on the shared dir.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it by name.
+    ``max_memory_entries=1`` forces nearly every get through the disk
+    path, which is where the races live.
+    """
+    directory, seed, max_disk_entries = args
+    rng = Random(seed)
+    store = ResultStore(
+        directory,
+        max_memory_entries=1,
+        max_disk_entries=max_disk_entries,
+    )
+    gets = 0
+    for step in range(OPS_PER_WORKER):
+        key = rng.choice(KEYS)
+        if rng.random() < 0.5:
+            store.put(key, {"metric": float(seed), "step": float(step)})
+        else:
+            store.get(key)
+            gets += 1
+    store.flush_stats()
+    return gets, store.stats()
+
+
+class TestConcurrentStore:
+    def test_parallel_writers_zero_corrupt_conserved_counts(self, tmp_path):
+        directory = str(tmp_path / "shared")
+        jobs = [(directory, seed, None) for seed in range(4)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            outcomes = list(pool.map(hammer, jobs))
+
+        for gets, stats in outcomes:
+            assert stats["corrupt"] == 0
+            # Conservation: every get was exactly one hit or one miss.
+            assert stats["hits"] + stats["misses"] == gets
+
+        # Every surviving entry is a complete, well-formed write.
+        files = sorted((tmp_path / "shared").glob("*.json"))
+        assert files
+        for path in files:
+            loaded = json.loads(path.read_text())
+            assert set(loaded) == {"metrics", "order"}
+            assert set(loaded["metrics"]) == {"metric", "step"}
+
+        # The flushed shards aggregate to the workers' combined totals.
+        merged = ResultStore(directory).persisted_stats()
+        assert merged["corrupt"] == 0
+        total_gets = sum(gets for gets, _ in outcomes)
+        assert merged["hits"] + merged["misses"] == total_gets
+
+    def test_parallel_eviction_holds_budget_without_corruption(
+        self, tmp_path
+    ):
+        directory = str(tmp_path / "bounded")
+        jobs = [(directory, seed, 3) for seed in range(3)]
+        with ProcessPoolExecutor(max_workers=3) as pool:
+            outcomes = list(pool.map(hammer, jobs))
+
+        for gets, stats in outcomes:
+            assert stats["corrupt"] == 0
+            assert stats["hits"] + stats["misses"] == gets
+
+        survivor = ResultStore(directory)
+        assert survivor.disk_entries() <= 3
+        for path in sorted((tmp_path / "bounded").glob("*.json")):
+            assert isinstance(json.loads(path.read_text()), dict)

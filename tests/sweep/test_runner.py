@@ -136,13 +136,17 @@ class TestMemoization:
 
 class TestCacheStats:
     def test_fresh_cache_reports_zero_everything(self):
-        assert SweepCache().stats() == {"hits": 0, "misses": 0, "corrupt": 0}
+        assert SweepCache().stats() == {
+            "hits": 0, "misses": 0, "corrupt": 0, "evicted": 0,
+        }
 
     def test_stats_track_hits_and_misses(self):
         runner = SweepRunner()
         runner.run(cheap_specs(48.0, 676.0))
         runner.run(cheap_specs(48.0, 676.0))
-        assert runner.cache.stats() == {"hits": 2, "misses": 2, "corrupt": 0}
+        assert runner.cache.stats() == {
+            "hits": 2, "misses": 2, "corrupt": 0, "evicted": 0,
+        }
 
     def test_corrupt_files_counted_and_repaired(self, tmp_path):
         """A truncated persisted entry counts as both a miss and a
@@ -152,11 +156,15 @@ class TestCacheStats:
         (tmp_path / f"{spec.cache_key()}.json").write_text('{"double_fl')
         cache = SweepCache(directory=tmp_path)
         SweepRunner(cache=cache).run([spec])
-        assert cache.stats() == {"hits": 0, "misses": 1, "corrupt": 1}
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "corrupt": 1, "evicted": 0,
+        }
 
         repaired = SweepCache(directory=tmp_path)
         SweepRunner(cache=repaired).run([spec])
-        assert repaired.stats() == {"hits": 1, "misses": 0, "corrupt": 0}
+        assert repaired.stats() == {
+            "hits": 1, "misses": 0, "corrupt": 0, "evicted": 0,
+        }
 
     def test_non_dict_payload_counts_as_corrupt(self, tmp_path):
         """Valid JSON of the wrong shape is corruption too — stats()
@@ -165,7 +173,9 @@ class TestCacheStats:
         (tmp_path / f"{spec.cache_key()}.json").write_text("[1, 2, 3]\n")
         cache = SweepCache(directory=tmp_path)
         assert cache.get(spec.cache_key()) is None
-        assert cache.stats() == {"hits": 0, "misses": 1, "corrupt": 1}
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "corrupt": 1, "evicted": 0,
+        }
 
     def test_memory_only_cache_never_sees_corruption(self):
         runner = SweepRunner()

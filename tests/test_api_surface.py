@@ -90,6 +90,13 @@ PACKAGES = [
     "repro.runtime.controllers",
     "repro.runtime.state",
     "repro.runtime.engine",
+    "repro.store",
+    "repro.store.core",
+    "repro.serve",
+    "repro.serve.protocol",
+    "repro.serve.jobs",
+    "repro.serve.server",
+    "repro.serve.client",
 ]
 
 

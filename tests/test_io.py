@@ -57,6 +57,35 @@ class TestFiles:
         assert dumps(CosimConfig()) == dumps(CosimConfig())
 
 
+class TestAtomicWrites:
+    def test_write_text_atomic_roundtrip_and_parents(self, tmp_path):
+        from repro.io import write_text_atomic
+
+        target = tmp_path / "a" / "b" / "out.txt"
+        assert write_text_atomic(target, "hello") == target
+        assert target.read_text() == "hello"
+
+    def test_no_tmp_residue(self, tmp_path):
+        from repro.io import write_text_atomic
+
+        write_text_atomic(tmp_path / "out.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_save_json_creates_parents(self, tmp_path):
+        path = save_json({"a": 1}, tmp_path / "nested" / "spec.json")
+        assert load_json(path) == {"a": 1}
+
+    def test_save_csv_bytes_match_csv_dumps(self, tmp_path):
+        from repro.io import csv_dumps, save_csv
+
+        records = [{"a": 1, "b": "x"}]
+        path = save_csv(records, tmp_path / "deep" / "out.csv")
+        written = path.read_bytes()
+        assert written == csv_dumps(records).encode()
+        # CRLF row terminators survive the atomic tmp-file hop.
+        assert written == b"a,b\r\n1,x\r\n"
+
+
 class TestEvaluationRecord:
     def test_record_structure(self):
         from repro.core.metrics import EnergyBalance

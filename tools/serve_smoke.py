@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve`` (docs/service.md).
+
+Boots a :class:`~repro.serve.server.ResultServer` on a daemon thread
+against a throwaway store directory, submits the flow preset twice from
+a plain-socket client, and asserts the service contract end to end:
+
+- the cold submission evaluates every scenario;
+- the warm submission performs **zero evaluations** (all store hits);
+- both return byte-identical CSV/JSON export text;
+- a bad job is an ``error`` event and the server survives it.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+
+Exit code 0 on success; any contract violation raises.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+POINTS = 6
+
+
+def main() -> int:
+    from repro.serve import BackgroundServer, ResultServer, ServeClient
+    from repro.store import ResultStore
+    from repro.sweep import SweepRunner
+
+    store_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    runner = SweepRunner(cache=ResultStore(store_dir))
+    server = ResultServer(runner)
+    with BackgroundServer(server) as bg:
+        client = ServeClient(port=bg.port)
+
+        cold = client.submit("sweep", preset="flow", points=POINTS).require()
+        assert cold["store"]["misses"] == POINTS, cold["store"]
+        print(f"serve smoke: cold run evaluated {POINTS} scenario(s)")
+
+        warm = client.submit("sweep", preset="flow", points=POINTS).require()
+        assert warm["store"] == {
+            "hits": POINTS, "misses": 0, "corrupt": 0, "evicted": 0,
+        }, warm["store"]
+        assert warm["csv"] == cold["csv"]
+        assert warm["json"] == cold["json"]
+        print("serve smoke: warm replay did 0 evaluations, "
+              "byte-identical exports")
+
+        failed = client.submit("sweep", preset="no-such-preset")
+        assert not failed.ok and "no-such-preset" in (failed.error or "")
+        assert client.submit("sweep", preset="flow", points=POINTS).ok
+        print("serve smoke: job failure was an event; server survived")
+
+    assert server.jobs_completed == 3 and server.jobs_failed == 1
+    print(f"serve smoke: OK ({server.jobs_completed} job(s), "
+          f"{server.jobs_failed} failure(s), store at {store_dir})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
